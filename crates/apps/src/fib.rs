@@ -1,0 +1,146 @@
+//! The `fib` application.
+//!
+//! "The fib application is a naive, doubly-recursive program that computes
+//! Fibonacci numbers. ... it does almost nothing but spawn parallel tasks,
+//! which are simple procedure calls in the serial implementation." (§4)
+//!
+//! fib is the paper's stress test for scheduling overhead: its serial
+//! slowdown (5.90 on a SparcStation 10 under Phish, Table 1) is almost
+//! entirely the cost of packaging, scheduling, and synchronizing tasks.
+
+use phish_core::{Cont, SpecStep, SpecTask, TaskFn, WordCodec, WordReader, Worker};
+
+/// The best serial implementation: a plain doubly-recursive function, the
+/// denominator of the Table 1 slowdown ratio.
+pub fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+/// The parallel implementation in continuation-passing style: every
+/// interior call allocates a join cell and spawns both sub-problems as
+/// tasks, exactly as naive as the paper's version (no serial cutoff).
+pub fn fib_task(n: u64, out: Cont) -> TaskFn<u64> {
+    Box::new(move |w: &mut Worker<u64>| {
+        if n < 2 {
+            w.post(out, n);
+            return;
+        }
+        let (ca, cb) = w.join2(move |a, b, w| w.post(out, a + b));
+        w.spawn(move |w| fib_task(n - 1, ca)(w));
+        w.spawn(move |w| fib_task(n - 2, cb)(w));
+    })
+}
+
+/// Spec form of fib for the recovering engine and the simulator.
+///
+/// `step` performs one doubly-recursive expansion; the result monoid is
+/// addition (fib(n) = Σ over leaves of the call tree of fib(leaf)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FibSpec {
+    /// The argument.
+    pub n: u64,
+}
+
+impl SpecTask for FibSpec {
+    type Output = u64;
+
+    fn step(self) -> SpecStep<Self> {
+        if self.n < 2 {
+            SpecStep::Leaf(self.n)
+        } else {
+            SpecStep::Expand {
+                children: vec![FibSpec { n: self.n - 1 }, FibSpec { n: self.n - 2 }],
+                partial: 0,
+            }
+        }
+    }
+
+    fn identity() -> u64 {
+        0
+    }
+
+    fn merge(a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn virtual_cost(&self) -> u64 {
+        // A fib task does near-zero real work; the calibrated per-task
+        // scheduling cost on modern hardware is ~100ns.
+        100
+    }
+}
+
+impl WordCodec for FibSpec {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.n);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some(FibSpec { n: r.word()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phish_core::{run_serial, Engine, SchedulerConfig, SpecEngine};
+
+    const FIBS: [u64; 16] = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610];
+
+    #[test]
+    fn serial_matches_table() {
+        for (n, &expect) in FIBS.iter().enumerate() {
+            assert_eq!(fib_serial(n as u64), expect);
+        }
+    }
+
+    #[test]
+    fn cps_single_worker_matches_serial() {
+        let (v, stats) = Engine::run(SchedulerConfig::paper(1), fib_task(15, Cont::ROOT));
+        assert_eq!(v, fib_serial(15));
+        // Naive fib spawns the full call tree: tasks = calls + joins.
+        assert!(stats.tasks_executed > 1000);
+    }
+
+    #[test]
+    fn cps_multi_worker_matches_serial() {
+        for workers in [2, 4] {
+            let (v, _) = Engine::run(SchedulerConfig::paper(workers), fib_task(18, Cont::ROOT));
+            assert_eq!(v, fib_serial(18));
+        }
+    }
+
+    #[test]
+    fn spec_matches_serial() {
+        assert_eq!(run_serial(FibSpec { n: 20 }), fib_serial(20));
+        let (v, _) = SpecEngine::run(SchedulerConfig::paper(3), FibSpec { n: 20 });
+        assert_eq!(v, fib_serial(20));
+    }
+
+    #[test]
+    fn spec_codec_roundtrips() {
+        let spec = FibSpec { n: 31 };
+        let mut words = Vec::new();
+        spec.encode(&mut words);
+        let mut r = WordReader::new(&words);
+        assert_eq!(FibSpec::decode(&mut r), Some(spec));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn cps_working_set_stays_small() {
+        // The Blumofe–Leiserson bound: space grows with depth, not with
+        // the (exponential) task count.
+        let (_, stats) = Engine::run(SchedulerConfig::paper(1), fib_task(20, Cont::ROOT));
+        assert!(
+            stats.max_tasks_in_use < 200,
+            "working set {} should be O(depth), tasks were {}",
+            stats.max_tasks_in_use,
+            stats.tasks_executed
+        );
+    }
+}

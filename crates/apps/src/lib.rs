@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # phish-apps — the paper's four applications
+//!
+//! §4 of Blumofe & Park evaluates Phish with "2 toy applications and 2 real
+//! applications":
+//!
+//! * [`fib`] — naive doubly-recursive Fibonacci; tiny grain, the scheduling
+//!   overhead stress test (serial slowdown 5.90 in Table 1).
+//! * [`nqueens`] — backtrack search counting queen placements (1.12).
+//! * [`pfold`] — lattice polymer folding with an energy histogram; the
+//!   10-million-task workload behind Figures 4–5 and Table 2.
+//! * [`ray`] — a Whitted ray tracer; coarse grain, near-zero slowdown
+//!   (1.04).
+//!
+//! Every application comes in three forms with identical semantics:
+//! a **best-serial** implementation (plain recursion — the Table 1
+//! denominator), a **continuation-passing parallel** implementation for
+//! [`phish_core::Engine`], and a **spec** form ([`phish_core::SpecTask`])
+//! for the fault-tolerant engine and the discrete-event simulator. Tests in
+//! each module assert all three agree.
+
+pub mod fib;
+pub mod nqueens;
+pub mod pfold;
+pub mod pfold3d;
+pub mod ray;
+
+pub use fib::{fib_serial, fib_task, FibSpec};
+pub use nqueens::{nqueens_serial, nqueens_task, NQueensSpec};
+pub use pfold::{
+    count_walks, merge_histograms, parse_hp, pfold_hp_serial, pfold_serial, pfold_task,
+    Histogram, Monomer, PfoldHpSpec, PfoldSpec, Walk,
+};
+pub use pfold3d::{pfold3d_serial, pfold3d_task, Pfold3dSpec, Walk3};
+pub use ray::{benchmark_scene, render_serial, render_task, RaySpec};

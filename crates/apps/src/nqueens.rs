@@ -1,0 +1,284 @@
+//! The `nqueens` application.
+//!
+//! "The nqueens application counts by backtrack search the number of ways
+//! of arranging n queens on an n × n chess board such that no queen can
+//! capture any other." (§4)
+//!
+//! Backtrack search is the canonical dynamic-parallelism workload (the
+//! paper credits DIB, a distributed backtracking system, as the inspiration
+//! for idle-initiated scheduling). Unlike fib, each node does real work
+//! (conflict checks), so the serial slowdown is small — 1.12 in Table 1.
+
+use phish_core::{Cont, SpecStep, SpecTask, TaskFn, WordCodec, WordReader, Worker};
+
+/// Search state at one row: column/diagonal occupancy as bitmasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Board {
+    n: u32,
+    row: u32,
+    cols: u32,
+    diag_l: u32,
+    diag_r: u32,
+}
+
+impl Board {
+    fn fresh(n: u32) -> Self {
+        Self {
+            n,
+            row: 0,
+            cols: 0,
+            diag_l: 0,
+            diag_r: 0,
+        }
+    }
+
+    /// Bitmask of columns where a queen can be placed in the current row.
+    #[inline]
+    fn free(&self) -> u32 {
+        !(self.cols | self.diag_l | self.diag_r) & ((1 << self.n) - 1)
+    }
+
+    /// The board after placing a queen on column-bit `bit`.
+    #[inline]
+    fn place(&self, bit: u32) -> Board {
+        Board {
+            n: self.n,
+            row: self.row + 1,
+            cols: self.cols | bit,
+            diag_l: (self.diag_l | bit) << 1,
+            diag_r: (self.diag_r | bit) >> 1,
+        }
+    }
+}
+
+fn count_from(b: Board) -> u64 {
+    if b.row == b.n {
+        return 1;
+    }
+    let mut free = b.free();
+    let mut count = 0;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        count += count_from(b.place(bit));
+    }
+    count
+}
+
+/// The best serial implementation: bitmask backtracking.
+pub fn nqueens_serial(n: u32) -> u64 {
+    assert!(n <= 30, "board too large for 32-bit masks");
+    count_from(Board::fresh(n))
+}
+
+/// Default spawn depth: rows above this depth become parallel tasks, the
+/// subtree below is searched serially. The paper's 1.12 slowdown implies a
+/// grain far coarser than one task per node.
+pub const DEFAULT_SPAWN_DEPTH: u32 = 3;
+
+/// Parallel nqueens in continuation-passing style. Nodes at depth
+/// < `spawn_depth` spawn one task per child placement and join their
+/// counts; deeper nodes run the serial search.
+pub fn nqueens_task(n: u32, spawn_depth: u32, out: Cont) -> TaskFn<u64> {
+    board_task(Board::fresh(n), spawn_depth, out)
+}
+
+fn board_task(b: Board, spawn_depth: u32, out: Cont) -> TaskFn<u64> {
+    Box::new(move |w: &mut Worker<u64>| {
+        if b.row >= spawn_depth || b.row == b.n {
+            w.post(out, count_from(b));
+            return;
+        }
+        let mut free = b.free();
+        if free == 0 {
+            w.post(out, 0);
+            return;
+        }
+        let mut bits = Vec::new();
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            bits.push(bit);
+        }
+        let cell = w.join(bits.len(), move |vals, w| {
+            w.post(out, vals.into_iter().sum());
+        });
+        for (i, bit) in bits.into_iter().enumerate() {
+            let cont = Cont::slot(cell, i as u32);
+            let child = b.place(bit);
+            w.spawn(move |w| board_task(child, spawn_depth, cont)(w));
+        }
+    })
+}
+
+/// Spec form of nqueens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NQueensSpec {
+    board: Board,
+    spawn_depth: u32,
+}
+
+impl NQueensSpec {
+    /// The root spec for an `n × n` board with the given spawn depth.
+    pub fn new(n: u32, spawn_depth: u32) -> Self {
+        assert!(n <= 30, "board too large for 32-bit masks");
+        Self {
+            board: Board::fresh(n),
+            spawn_depth,
+        }
+    }
+}
+
+impl SpecTask for NQueensSpec {
+    type Output = u64;
+
+    fn step(self) -> SpecStep<Self> {
+        let b = self.board;
+        if b.row >= self.spawn_depth || b.row == b.n {
+            return SpecStep::Leaf(count_from(b));
+        }
+        let mut free = b.free();
+        let mut children = Vec::new();
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            children.push(NQueensSpec {
+                board: b.place(bit),
+                spawn_depth: self.spawn_depth,
+            });
+        }
+        SpecStep::Expand {
+            children,
+            partial: 0,
+        }
+    }
+
+    fn identity() -> u64 {
+        0
+    }
+
+    fn merge(a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn virtual_cost(&self) -> u64 {
+        // Leaves search a subtree serially; interior nodes just fan out.
+        if self.board.row >= self.spawn_depth {
+            // Subtree work shrinks with depth; rough calibration.
+            50_000
+        } else {
+            500
+        }
+    }
+}
+
+impl WordCodec for NQueensSpec {
+    fn encode(&self, out: &mut Vec<u64>) {
+        let b = self.board;
+        for w in [b.n, b.row, b.cols, b.diag_l, b.diag_r, self.spawn_depth] {
+            out.push(u64::from(w));
+        }
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        let mut next = || r.word().and_then(|w| u32::try_from(w).ok());
+        let (n, row, cols, diag_l, diag_r, spawn_depth) =
+            (next()?, next()?, next()?, next()?, next()?, next()?);
+        if n > 30 || row > n {
+            return None;
+        }
+        Some(NQueensSpec {
+            board: Board {
+                n,
+                row,
+                cols,
+                diag_l,
+                diag_r,
+            },
+            spawn_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phish_core::{run_serial, Engine, SchedulerConfig, SpecEngine};
+
+    /// Known solution counts for n = 0..=12.
+    const SOLUTIONS: [u64; 13] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200];
+
+    #[test]
+    fn serial_matches_known_counts() {
+        for (n, &expect) in SOLUTIONS.iter().enumerate() {
+            assert_eq!(nqueens_serial(n as u32), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cps_matches_serial() {
+        for workers in [1, 4] {
+            let (v, _) = Engine::run(
+                SchedulerConfig::paper(workers),
+                nqueens_task(9, DEFAULT_SPAWN_DEPTH, Cont::ROOT),
+            );
+            assert_eq!(v, SOLUTIONS[9]);
+        }
+    }
+
+    #[test]
+    fn cps_spawn_depth_zero_is_fully_serial() {
+        let (v, stats) = Engine::run(SchedulerConfig::paper(1), nqueens_task(8, 0, Cont::ROOT));
+        assert_eq!(v, SOLUTIONS[8]);
+        assert_eq!(stats.tasks_executed, 1, "depth 0 must not spawn");
+    }
+
+    #[test]
+    fn deeper_spawning_creates_more_tasks() {
+        let (_, shallow) = Engine::run(SchedulerConfig::paper(1), nqueens_task(8, 1, Cont::ROOT));
+        let (_, deep) = Engine::run(SchedulerConfig::paper(1), nqueens_task(8, 3, Cont::ROOT));
+        assert!(deep.tasks_executed > shallow.tasks_executed * 5);
+    }
+
+    #[test]
+    fn spec_matches_serial() {
+        let spec = NQueensSpec::new(9, DEFAULT_SPAWN_DEPTH);
+        assert_eq!(run_serial(spec), SOLUTIONS[9]);
+        let (v, stats) = SpecEngine::run(SchedulerConfig::paper(4), spec);
+        assert_eq!(v, SOLUTIONS[9]);
+        assert!(stats.tasks_executed > 100);
+    }
+
+    #[test]
+    fn spec_codec_roundtrips_mid_search() {
+        // Encode a spec part-way down the tree, not just the root.
+        let root = NQueensSpec::new(8, 3);
+        let SpecStep::Expand { children, .. } = root.step() else {
+            panic!("root must expand");
+        };
+        for spec in children {
+            let mut words = Vec::new();
+            spec.encode(&mut words);
+            let mut r = WordReader::new(&words);
+            assert_eq!(NQueensSpec::decode(&mut r), Some(spec));
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn spec_codec_rejects_garbage() {
+        let words = [99u64, 0, 0, 0, 0, 3]; // n = 99 > 30
+        let mut r = WordReader::new(&words);
+        assert_eq!(NQueensSpec::decode(&mut r), None);
+    }
+
+    #[test]
+    fn board_free_mask_excludes_attacks() {
+        let b = Board::fresh(4);
+        assert_eq!(b.free(), 0b1111);
+        let b = b.place(0b0010); // queen at column 1, row 0
+        // Row 1: column 1 blocked (file), columns 0 and 2 blocked
+        // (diagonals); only column 3 free.
+        assert_eq!(b.free(), 0b1000);
+    }
+}

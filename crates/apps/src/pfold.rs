@@ -1,0 +1,616 @@
+//! The `pfold` application: lattice polymer folding.
+//!
+//! "The protein-folding application finds all possible foldings of a
+//! polymer into a lattice and computes a histogram of the energy values."
+//! (§4; developed by Chris Joerg and Vijay Pande). The original source is
+//! not available, so this is a from-scratch implementation of the same
+//! computation: enumerate every self-avoiding walk of an `n`-monomer chain
+//! on the 2D square lattice and histogram the *topological contacts* —
+//! pairs of monomers that are lattice neighbours but not chain neighbours.
+//! Each contact contributes one unit of (negative) energy, so the histogram
+//! over contact counts is the energy histogram.
+//!
+//! The computational shape is what matters for the reproduction: an
+//! enormous, irregular backtracking tree (the paper's runs executed
+//! 10,390,216 tasks) with almost no data per task — exactly the workload
+//! behind Figure 4, Figure 5, and Table 2.
+
+use phish_core::{Cont, SpecStep, SpecTask, TaskFn, WordCodec, WordReader, Worker};
+
+/// Maximum chain length supported by the fixed-size walk representation.
+pub const MAX_CHAIN: usize = 27;
+
+/// The energy histogram: `hist[k]` counts foldings with exactly `k`
+/// contacts (energy `-k`).
+pub type Histogram = Vec<u64>;
+
+/// Merges two histograms (pointwise sum, growing as needed).
+pub fn merge_histograms(mut a: Histogram, b: Histogram) -> Histogram {
+    if b.len() > a.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, v) in b.into_iter().enumerate() {
+        a[i] += v;
+    }
+    a
+}
+
+/// A partial self-avoiding walk on the square lattice, stored inline so
+/// cloning a task is a memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    len: u8,
+    xs: [i8; MAX_CHAIN],
+    ys: [i8; MAX_CHAIN],
+}
+
+impl Walk {
+    /// A walk consisting of the single origin monomer.
+    pub fn origin() -> Self {
+        Self {
+            len: 1,
+            xs: [0; MAX_CHAIN],
+            ys: [0; MAX_CHAIN],
+        }
+    }
+
+    /// Number of placed monomers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if only the origin is placed.
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    #[inline]
+    fn occupied(&self, x: i8, y: i8) -> bool {
+        let n = self.len as usize;
+        for i in 0..n {
+            if self.xs[i] == x && self.ys[i] == y {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn head(&self) -> (i8, i8) {
+        let i = (self.len - 1) as usize;
+        (self.xs[i], self.ys[i])
+    }
+
+    /// Extends the walk by one monomer; `None` if the site is occupied.
+    #[inline]
+    pub fn extend_to(&self, x: i8, y: i8) -> Option<Walk> {
+        if self.occupied(x, y) {
+            return None;
+        }
+        let mut w = *self;
+        w.xs[w.len as usize] = x;
+        w.ys[w.len as usize] = y;
+        w.len += 1;
+        Some(w)
+    }
+
+    /// The number of topological contacts of a complete fold: lattice
+    /// neighbours that are not adjacent along the chain.
+    pub fn contacts(&self) -> usize {
+        let n = self.len as usize;
+        let mut c = 0;
+        for i in 0..n {
+            for j in (i + 2)..n {
+                let dx = (self.xs[i] - self.xs[j]).abs();
+                let dy = (self.ys[i] - self.ys[j]).abs();
+                if dx + dy == 1 {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+const DIRS: [(i8, i8); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+
+/// The upper bound on contacts for an `n`-monomer chain (used to size
+/// histograms): each monomer has ≤ 4 lattice neighbours, two of which are
+/// chain neighbours for interior monomers.
+pub fn max_contacts(n: usize) -> usize {
+    n.saturating_sub(2) + 2
+}
+
+fn fold_recurse(walk: &Walk, n: usize, hist: &mut Histogram) {
+    if walk.len() == n {
+        let c = walk.contacts();
+        if c >= hist.len() {
+            hist.resize(c + 1, 0);
+        }
+        hist[c] += 1;
+        return;
+    }
+    let (hx, hy) = walk.head();
+    for (dx, dy) in DIRS {
+        if let Some(next) = walk.extend_to(hx + dx, hy + dy) {
+            fold_recurse(&next, n, hist);
+        }
+    }
+}
+
+/// The best serial implementation: depth-first enumeration of all
+/// self-avoiding walks of `n` monomers, histogramming contacts.
+pub fn pfold_serial(n: usize) -> Histogram {
+    assert!((1..=MAX_CHAIN).contains(&n), "chain length out of range");
+    let mut hist = vec![0u64; 1];
+    fold_recurse(&Walk::origin(), n, &mut hist);
+    hist
+}
+
+/// Total number of self-avoiding walks of `n` monomers (Σ histogram).
+pub fn count_walks(hist: &Histogram) -> u64 {
+    hist.iter().sum()
+}
+
+/// Monomer species for the HP (hydrophobic/polar) heteropolymer model —
+/// the lattice-protein abstraction Pande's group used: only H–H contacts
+/// are energetically favourable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monomer {
+    /// Hydrophobic: contributes to contact energy.
+    H,
+    /// Polar: energetically neutral.
+    P,
+}
+
+/// Parses an HP sequence string like `"HPHPPHHP"`.
+pub fn parse_hp(seq: &str) -> Option<Vec<Monomer>> {
+    seq.chars()
+        .map(|c| match c.to_ascii_uppercase() {
+            'H' => Some(Monomer::H),
+            'P' => Some(Monomer::P),
+            _ => None,
+        })
+        .collect()
+}
+
+impl Walk {
+    /// H–H topological contacts of a complete fold under `seq` (which must
+    /// be at least as long as the walk).
+    pub fn hp_contacts(&self, seq: &[Monomer]) -> usize {
+        let n = self.len();
+        assert!(seq.len() >= n, "sequence shorter than the walk");
+        let mut c = 0;
+        for i in 0..n {
+            if seq[i] != Monomer::H {
+                continue;
+            }
+            for (j, m) in seq.iter().enumerate().take(n).skip(i + 2) {
+                if *m != Monomer::H {
+                    continue;
+                }
+                let dx = (self.xs[i] - self.xs[j]).abs();
+                let dy = (self.ys[i] - self.ys[j]).abs();
+                if dx + dy == 1 {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+fn hp_fold_recurse(walk: &Walk, seq: &[Monomer], hist: &mut Histogram) {
+    if walk.len() == seq.len() {
+        let c = walk.hp_contacts(seq);
+        if c >= hist.len() {
+            hist.resize(c + 1, 0);
+        }
+        hist[c] += 1;
+        return;
+    }
+    let (hx, hy) = walk.head();
+    for (dx, dy) in DIRS {
+        if let Some(next) = walk.extend_to(hx + dx, hy + dy) {
+            hp_fold_recurse(&next, seq, hist);
+        }
+    }
+}
+
+/// Serial HP-model folding: histogram of H–H contact counts over all
+/// self-avoiding conformations of `seq`.
+pub fn pfold_hp_serial(seq: &[Monomer]) -> Histogram {
+    assert!((1..=MAX_CHAIN).contains(&seq.len()), "sequence length out of range");
+    let mut hist = vec![0u64; 1];
+    hp_fold_recurse(&Walk::origin(), seq, &mut hist);
+    hist
+}
+
+/// Spec form of the HP folder. The sequence travels with the spec (shared
+/// via `Arc` so clones are cheap).
+#[derive(Debug, Clone)]
+pub struct PfoldHpSpec {
+    walk: Walk,
+    seq: std::sync::Arc<Vec<Monomer>>,
+    spawn_depth: usize,
+}
+
+impl PfoldHpSpec {
+    /// Root spec for `seq`.
+    pub fn new(seq: Vec<Monomer>, spawn_depth: usize) -> Self {
+        assert!((1..=MAX_CHAIN).contains(&seq.len()));
+        Self {
+            walk: Walk::origin(),
+            seq: std::sync::Arc::new(seq),
+            spawn_depth,
+        }
+    }
+}
+
+impl SpecTask for PfoldHpSpec {
+    type Output = Histogram;
+
+    fn step(self) -> SpecStep<Self> {
+        let n = self.seq.len();
+        if self.walk.len() >= self.spawn_depth.min(n) || self.walk.len() == n {
+            let mut hist = vec![0u64; 1];
+            hp_fold_recurse(&self.walk, &self.seq, &mut hist);
+            return SpecStep::Leaf(hist);
+        }
+        let (hx, hy) = self.walk.head();
+        let children: Vec<PfoldHpSpec> = DIRS
+            .iter()
+            .filter_map(|&(dx, dy)| self.walk.extend_to(hx + dx, hy + dy))
+            .map(|walk| PfoldHpSpec {
+                walk,
+                seq: std::sync::Arc::clone(&self.seq),
+                spawn_depth: self.spawn_depth,
+            })
+            .collect();
+        SpecStep::Expand {
+            children,
+            partial: vec![0u64; 1],
+        }
+    }
+
+    fn identity() -> Histogram {
+        vec![0u64; 1]
+    }
+
+    fn merge(a: Histogram, b: Histogram) -> Histogram {
+        merge_histograms(a, b)
+    }
+}
+
+/// Default spawn depth: walks shorter than this are parallel tasks; the
+/// subtree below each is enumerated serially.
+pub const DEFAULT_SPAWN_DEPTH: usize = 6;
+
+/// Parallel pfold in continuation-passing style. One task per search-tree
+/// node down to `spawn_depth`; the value flowing through join cells is the
+/// (small) partial histogram.
+pub fn pfold_task(n: usize, spawn_depth: usize, out: Cont) -> TaskFn<Histogram> {
+    walk_task(Walk::origin(), n, spawn_depth, out)
+}
+
+fn walk_task(walk: Walk, n: usize, spawn_depth: usize, out: Cont) -> TaskFn<Histogram> {
+    Box::new(move |w: &mut Worker<Histogram>| {
+        if walk.len() >= spawn_depth.min(n) || walk.len() == n {
+            // Serial subtree.
+            let mut hist = vec![0u64; 1];
+            fold_recurse(&walk, n, &mut hist);
+            w.post(out, hist);
+            return;
+        }
+        let (hx, hy) = walk.head();
+        let children: Vec<Walk> = DIRS
+            .iter()
+            .filter_map(|&(dx, dy)| walk.extend_to(hx + dx, hy + dy))
+            .collect();
+        if children.is_empty() {
+            // Dead end before reaching full length: contributes nothing.
+            w.post(out, vec![0u64; 1]);
+            return;
+        }
+        let cell = w.join(children.len(), move |vals, w| {
+            let merged = vals
+                .into_iter()
+                .fold(vec![0u64; 1], merge_histograms);
+            w.post(out, merged);
+        });
+        for (i, child) in children.into_iter().enumerate() {
+            let cont = Cont::slot(cell, i as u32);
+            w.spawn(move |w| walk_task(child, n, spawn_depth, cont)(w));
+        }
+    })
+}
+
+/// Spec form of pfold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfoldSpec {
+    walk: Walk,
+    n: usize,
+    spawn_depth: usize,
+}
+
+impl PfoldSpec {
+    /// The root spec for an `n`-monomer chain.
+    pub fn new(n: usize, spawn_depth: usize) -> Self {
+        assert!((1..=MAX_CHAIN).contains(&n), "chain length out of range");
+        Self {
+            walk: Walk::origin(),
+            n,
+            spawn_depth,
+        }
+    }
+
+    /// Chain length.
+    pub fn chain_len(&self) -> usize {
+        self.n
+    }
+}
+
+impl SpecTask for PfoldSpec {
+    type Output = Histogram;
+
+    fn step(self) -> SpecStep<Self> {
+        if self.walk.len() >= self.spawn_depth.min(self.n) || self.walk.len() == self.n {
+            let mut hist = vec![0u64; 1];
+            fold_recurse(&self.walk, self.n, &mut hist);
+            return SpecStep::Leaf(hist);
+        }
+        let (hx, hy) = self.walk.head();
+        let children: Vec<PfoldSpec> = DIRS
+            .iter()
+            .filter_map(|&(dx, dy)| self.walk.extend_to(hx + dx, hy + dy))
+            .map(|walk| PfoldSpec { walk, ..self })
+            .collect();
+        SpecStep::Expand {
+            children,
+            partial: vec![0u64; 1],
+        }
+    }
+
+    fn identity() -> Histogram {
+        vec![0u64; 1]
+    }
+
+    fn merge(a: Histogram, b: Histogram) -> Histogram {
+        merge_histograms(a, b)
+    }
+
+    fn virtual_cost(&self) -> u64 {
+        if self.walk.len() >= self.spawn_depth.min(self.n) {
+            // Serial subtree of ~2.64^(n - depth) nodes at ~30ns each.
+            let remaining = self.n.saturating_sub(self.walk.len()) as u32;
+            (30.0 * 2.64f64.powi(remaining as i32)) as u64 + 50
+        } else {
+            300
+        }
+    }
+}
+
+impl WordCodec for PfoldSpec {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.n as u64);
+        out.push(self.spawn_depth as u64);
+        out.push(u64::from(self.walk.len));
+        for i in 0..self.walk.len() {
+            // Pack one lattice coordinate pair per word with a +128 bias.
+            let x = (i16::from(self.walk.xs[i]) + 128) as u64;
+            let y = (i16::from(self.walk.ys[i]) + 128) as u64;
+            out.push((x << 8) | y);
+        }
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        let n = r.word()? as usize;
+        let spawn_depth = r.word()? as usize;
+        let len = r.word()?;
+        if !(1..=MAX_CHAIN).contains(&n) || len == 0 || len as usize > n {
+            return None;
+        }
+        let mut walk = Walk::origin();
+        walk.len = len as u8;
+        for i in 0..len as usize {
+            let w = r.word()?;
+            let x = ((w >> 8) & 0x1FF) as i16 - 128;
+            let y = (w & 0xFF) as i16 - 128;
+            if !(-128..=127).contains(&x) || !(-128..=127).contains(&y) {
+                return None;
+            }
+            walk.xs[i] = x as i8;
+            walk.ys[i] = y as i8;
+        }
+        // The first monomer must be the origin (all walks start there).
+        if walk.xs[0] != 0 || walk.ys[0] != 0 {
+            return None;
+        }
+        Some(PfoldSpec {
+            walk,
+            n,
+            spawn_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phish_core::{run_serial, Engine, SchedulerConfig, SpecEngine};
+
+    /// Known counts of self-avoiding walks on Z² with n *steps* = n+1
+    /// monomers: 4, 12, 36, 100, 284, 780, 2172, 5916, ... (OEIS A001411).
+    const SAW_COUNTS: [u64; 9] = [1, 4, 12, 36, 100, 284, 780, 2172, 5916];
+
+    #[test]
+    fn walk_counts_match_oeis() {
+        for (steps, &expect) in SAW_COUNTS.iter().enumerate() {
+            let hist = pfold_serial(steps + 1);
+            assert_eq!(count_walks(&hist), expect, "steps = {steps}");
+        }
+    }
+
+    #[test]
+    fn tiny_chain_has_no_contacts() {
+        // 3 monomers cannot form a non-chain contact on Z².
+        let hist = pfold_serial(3);
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0], 12);
+    }
+
+    #[test]
+    fn four_monomer_chain_contacts() {
+        // 4 monomers: the three-step walks; exactly the "U" shapes have one
+        // contact (ends adjacent). 36 walks total, 8 U-shapes.
+        let hist = pfold_serial(4);
+        assert_eq!(count_walks(&hist), 36);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1], 8);
+        assert_eq!(hist[0], 28);
+    }
+
+    #[test]
+    fn cps_matches_serial() {
+        let expect = pfold_serial(10);
+        for workers in [1, 4] {
+            let (hist, _) = Engine::run(
+                SchedulerConfig::paper(workers),
+                pfold_task(10, DEFAULT_SPAWN_DEPTH, Cont::ROOT),
+            );
+            assert_eq!(hist, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn spec_matches_serial() {
+        let expect = pfold_serial(11);
+        let spec = PfoldSpec::new(11, DEFAULT_SPAWN_DEPTH);
+        assert_eq!(run_serial(spec), expect);
+        let (hist, _) = SpecEngine::run(SchedulerConfig::paper(3), spec);
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn spawn_depth_does_not_change_the_answer() {
+        let expect = pfold_serial(9);
+        for depth in [1, 3, 5, 9, 20] {
+            let (hist, _) = Engine::run(
+                SchedulerConfig::paper(2),
+                pfold_task(9, depth, Cont::ROOT),
+            );
+            assert_eq!(hist, expect, "spawn_depth = {depth}");
+        }
+    }
+
+    #[test]
+    fn spec_codec_roundtrips_mid_search() {
+        let root = PfoldSpec::new(8, 4);
+        let SpecStep::Expand { children, .. } = root.step() else {
+            panic!("root must expand");
+        };
+        // Go two levels down so walks have negative coordinates too.
+        for child in children {
+            let SpecStep::Expand { children, .. } = child.step() else {
+                continue;
+            };
+            for spec in children {
+                let mut words = Vec::new();
+                spec.encode(&mut words);
+                let mut r = WordReader::new(&words);
+                assert_eq!(PfoldSpec::decode(&mut r), Some(spec));
+                assert!(r.is_exhausted());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_codec_rejects_garbage() {
+        // Chain length 0.
+        let mut r = WordReader::new(&[0, 4, 1, 0x8080]);
+        assert_eq!(PfoldSpec::decode(&mut r), None);
+        // Walk longer than the chain.
+        let mut r = WordReader::new(&[2, 4, 3, 0x8080, 0x8180, 0x8181]);
+        assert_eq!(PfoldSpec::decode(&mut r), None);
+        // First monomer off origin.
+        let mut r = WordReader::new(&[4, 4, 1, 0x8180]);
+        assert_eq!(PfoldSpec::decode(&mut r), None);
+    }
+
+    #[test]
+    fn hp_all_h_equals_homopolymer() {
+        // An all-H sequence is exactly the homopolymer model.
+        let seq = vec![Monomer::H; 9];
+        assert_eq!(pfold_hp_serial(&seq), pfold_serial(9));
+    }
+
+    #[test]
+    fn hp_all_p_has_zero_energy_everywhere() {
+        let seq = vec![Monomer::P; 8];
+        let hist = pfold_hp_serial(&seq);
+        assert_eq!(hist.len(), 1, "no H–H contacts possible");
+        assert_eq!(hist[0], count_walks(&pfold_serial(8)));
+    }
+
+    #[test]
+    fn hp_mixed_sequence_is_bounded_by_homopolymer() {
+        let seq = parse_hp("HPHPPHHPH").expect("valid");
+        let hp = pfold_hp_serial(&seq);
+        let homo = pfold_serial(seq.len());
+        assert_eq!(count_walks(&hp), count_walks(&homo), "same conformations");
+        assert!(hp.len() <= homo.len(), "HP energies bounded by all-H");
+        // Some conformation of this sequence has at least one H–H contact.
+        assert!(hp.len() > 1);
+    }
+
+    #[test]
+    fn hp_parse_rejects_garbage() {
+        assert!(parse_hp("HPX").is_none());
+        assert_eq!(parse_hp("hph").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn hp_spec_matches_serial() {
+        let seq = parse_hp("HPPHHPHPH").expect("valid");
+        let expect = pfold_hp_serial(&seq);
+        let spec = PfoldHpSpec::new(seq, 5);
+        assert_eq!(run_serial(spec.clone()), expect);
+        let (hist, _) = SpecEngine::run(SchedulerConfig::paper(3), spec);
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn walk_extend_rejects_occupied() {
+        let w = Walk::origin();
+        let w = w.extend_to(1, 0).unwrap();
+        assert!(w.extend_to(0, 0).is_none(), "origin occupied");
+        assert!(w.extend_to(2, 0).is_some());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn contacts_of_a_square() {
+        // 0,0 → 1,0 → 1,1 → 0,1: ends are lattice neighbours → 1 contact.
+        let w = Walk::origin()
+            .extend_to(1, 0)
+            .unwrap()
+            .extend_to(1, 1)
+            .unwrap()
+            .extend_to(0, 1)
+            .unwrap();
+        assert_eq!(w.contacts(), 1);
+    }
+
+    #[test]
+    fn merge_histograms_pads() {
+        let a = vec![1, 2];
+        let b = vec![1, 1, 1];
+        assert_eq!(merge_histograms(a, b), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn max_contacts_bounds_observed() {
+        let hist = pfold_serial(12);
+        assert!(hist.len() - 1 <= max_contacts(12));
+    }
+}

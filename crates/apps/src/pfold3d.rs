@@ -1,0 +1,345 @@
+//! pfold on the 3D cubic lattice.
+//!
+//! The paper says only "finds all possible foldings of a polymer into a
+//! lattice"; Pande's lattice-protein work used both square (2D) and cubic
+//! (3D) lattices. The 3D variant has a much higher branching factor
+//! (5 effective extensions instead of 3), so the same chain length yields
+//! a vastly bigger, bushier search tree — a second data point for every
+//! scheduling experiment.
+
+use phish_core::{Cont, SpecStep, SpecTask, TaskFn, WordCodec, WordReader, Worker};
+
+use crate::pfold::{merge_histograms, Histogram};
+
+/// Maximum chain length for the inline 3D walk representation.
+pub const MAX_CHAIN_3D: usize = 21;
+
+/// A partial self-avoiding walk on the cubic lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk3 {
+    len: u8,
+    xs: [i8; MAX_CHAIN_3D],
+    ys: [i8; MAX_CHAIN_3D],
+    zs: [i8; MAX_CHAIN_3D],
+}
+
+const DIRS3: [(i8, i8, i8); 6] = [
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+];
+
+impl Walk3 {
+    /// The single-monomer walk at the origin.
+    pub fn origin() -> Self {
+        Self {
+            len: 1,
+            xs: [0; MAX_CHAIN_3D],
+            ys: [0; MAX_CHAIN_3D],
+            zs: [0; MAX_CHAIN_3D],
+        }
+    }
+
+    /// Number of placed monomers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if only the origin is placed.
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    #[inline]
+    fn occupied(&self, x: i8, y: i8, z: i8) -> bool {
+        (0..self.len as usize).any(|i| self.xs[i] == x && self.ys[i] == y && self.zs[i] == z)
+    }
+
+    #[inline]
+    fn head(&self) -> (i8, i8, i8) {
+        let i = (self.len - 1) as usize;
+        (self.xs[i], self.ys[i], self.zs[i])
+    }
+
+    /// Extends the walk; `None` if the site is occupied.
+    #[inline]
+    pub fn extend_to(&self, x: i8, y: i8, z: i8) -> Option<Walk3> {
+        if self.occupied(x, y, z) {
+            return None;
+        }
+        let mut w = *self;
+        w.xs[w.len as usize] = x;
+        w.ys[w.len as usize] = y;
+        w.zs[w.len as usize] = z;
+        w.len += 1;
+        Some(w)
+    }
+
+    /// Topological contacts of a complete fold (lattice neighbours that
+    /// are not chain neighbours).
+    pub fn contacts(&self) -> usize {
+        let n = self.len as usize;
+        let mut c = 0;
+        for i in 0..n {
+            for j in (i + 2)..n {
+                let dx = (self.xs[i] - self.xs[j]).abs();
+                let dy = (self.ys[i] - self.ys[j]).abs();
+                let dz = (self.zs[i] - self.zs[j]).abs();
+                if dx + dy + dz == 1 {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+fn fold3_recurse(walk: &Walk3, n: usize, hist: &mut Histogram) {
+    if walk.len() == n {
+        let c = walk.contacts();
+        if c >= hist.len() {
+            hist.resize(c + 1, 0);
+        }
+        hist[c] += 1;
+        return;
+    }
+    let (hx, hy, hz) = walk.head();
+    for (dx, dy, dz) in DIRS3 {
+        if let Some(next) = walk.extend_to(hx + dx, hy + dy, hz + dz) {
+            fold3_recurse(&next, n, hist);
+        }
+    }
+}
+
+/// Serial 3D folding: energy histogram over all cubic-lattice
+/// conformations of an `n`-monomer chain.
+pub fn pfold3d_serial(n: usize) -> Histogram {
+    assert!((1..=MAX_CHAIN_3D).contains(&n), "chain length out of range");
+    let mut hist = vec![0u64; 1];
+    fold3_recurse(&Walk3::origin(), n, &mut hist);
+    hist
+}
+
+/// Parallel 3D folding in continuation-passing style (task per node above
+/// `spawn_depth`, serial below).
+pub fn pfold3d_task(n: usize, spawn_depth: usize, out: Cont) -> TaskFn<Histogram> {
+    walk3_task(Walk3::origin(), n, spawn_depth, out)
+}
+
+fn walk3_task(walk: Walk3, n: usize, spawn_depth: usize, out: Cont) -> TaskFn<Histogram> {
+    Box::new(move |w: &mut Worker<Histogram>| {
+        if walk.len() >= spawn_depth.min(n) || walk.len() == n {
+            let mut hist = vec![0u64; 1];
+            fold3_recurse(&walk, n, &mut hist);
+            w.post(out, hist);
+            return;
+        }
+        let (hx, hy, hz) = walk.head();
+        let children: Vec<Walk3> = DIRS3
+            .iter()
+            .filter_map(|&(dx, dy, dz)| walk.extend_to(hx + dx, hy + dy, hz + dz))
+            .collect();
+        if children.is_empty() {
+            w.post(out, vec![0u64; 1]);
+            return;
+        }
+        let cell = w.join(children.len(), move |vals, w| {
+            let merged = vals.into_iter().fold(vec![0u64; 1], merge_histograms);
+            w.post(out, merged);
+        });
+        for (i, child) in children.into_iter().enumerate() {
+            let cont = Cont::slot(cell, i as u32);
+            w.spawn(move |w| walk3_task(child, n, spawn_depth, cont)(w));
+        }
+    })
+}
+
+/// Spec form of the 3D folder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pfold3dSpec {
+    walk: Walk3,
+    n: usize,
+    spawn_depth: usize,
+}
+
+impl Pfold3dSpec {
+    /// Root spec for an `n`-monomer chain on the cubic lattice.
+    pub fn new(n: usize, spawn_depth: usize) -> Self {
+        assert!((1..=MAX_CHAIN_3D).contains(&n), "chain length out of range");
+        Self {
+            walk: Walk3::origin(),
+            n,
+            spawn_depth,
+        }
+    }
+}
+
+impl SpecTask for Pfold3dSpec {
+    type Output = Histogram;
+
+    fn step(self) -> SpecStep<Self> {
+        if self.walk.len() >= self.spawn_depth.min(self.n) || self.walk.len() == self.n {
+            let mut hist = vec![0u64; 1];
+            fold3_recurse(&self.walk, self.n, &mut hist);
+            return SpecStep::Leaf(hist);
+        }
+        let (hx, hy, hz) = self.walk.head();
+        let children: Vec<Pfold3dSpec> = DIRS3
+            .iter()
+            .filter_map(|&(dx, dy, dz)| self.walk.extend_to(hx + dx, hy + dy, hz + dz))
+            .map(|walk| Pfold3dSpec { walk, ..self })
+            .collect();
+        SpecStep::Expand {
+            children,
+            partial: vec![0u64; 1],
+        }
+    }
+
+    fn identity() -> Histogram {
+        vec![0u64; 1]
+    }
+
+    fn merge(a: Histogram, b: Histogram) -> Histogram {
+        merge_histograms(a, b)
+    }
+
+    fn virtual_cost(&self) -> u64 {
+        if self.walk.len() >= self.spawn_depth.min(self.n) {
+            let remaining = self.n.saturating_sub(self.walk.len()) as i32;
+            (40.0 * 4.68f64.powi(remaining)) as u64 + 50
+        } else {
+            350
+        }
+    }
+}
+
+impl WordCodec for Pfold3dSpec {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.n as u64);
+        out.push(self.spawn_depth as u64);
+        out.push(u64::from(self.walk.len));
+        for i in 0..self.walk.len() {
+            let x = (i16::from(self.walk.xs[i]) + 128) as u64;
+            let y = (i16::from(self.walk.ys[i]) + 128) as u64;
+            let z = (i16::from(self.walk.zs[i]) + 128) as u64;
+            out.push((x << 18) | (y << 9) | z);
+        }
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        let n = r.word()? as usize;
+        let spawn_depth = r.word()? as usize;
+        let len = r.word()?;
+        if !(1..=MAX_CHAIN_3D).contains(&n) || len == 0 || len as usize > n {
+            return None;
+        }
+        let mut walk = Walk3::origin();
+        walk.len = len as u8;
+        for i in 0..len as usize {
+            let w = r.word()?;
+            let x = ((w >> 18) & 0x1FF) as i16 - 128;
+            let y = ((w >> 9) & 0x1FF) as i16 - 128;
+            let z = (w & 0x1FF) as i16 - 128;
+            for v in [x, y, z] {
+                if !(-128..=127).contains(&v) {
+                    return None;
+                }
+            }
+            walk.xs[i] = x as i8;
+            walk.ys[i] = y as i8;
+            walk.zs[i] = z as i8;
+        }
+        if walk.xs[0] != 0 || walk.ys[0] != 0 || walk.zs[0] != 0 {
+            return None;
+        }
+        Some(Pfold3dSpec {
+            walk,
+            n,
+            spawn_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfold::count_walks;
+    use phish_core::{run_serial, Engine, SchedulerConfig, SpecEngine};
+
+    /// Counts of self-avoiding walks on Z³ with n steps (OEIS A001412):
+    /// 6, 30, 150, 726, 3534, 16926, 81390, ...
+    const SAW3_COUNTS: [u64; 8] = [1, 6, 30, 150, 726, 3534, 16926, 81390];
+
+    #[test]
+    fn walk_counts_match_oeis_a001412() {
+        for (steps, &expect) in SAW3_COUNTS.iter().enumerate() {
+            let hist = pfold3d_serial(steps + 1);
+            assert_eq!(count_walks(&hist), expect, "steps = {steps}");
+        }
+    }
+
+    #[test]
+    fn four_monomer_u_shapes_in_3d() {
+        // 3-step walks: 150 total; U-shapes (ends adjacent) have 1 contact.
+        // First dir 6 ways, perpendicular 4 ways, reverse 1 way = 24.
+        let hist = pfold3d_serial(4);
+        assert_eq!(count_walks(&hist), 150);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1], 24);
+    }
+
+    #[test]
+    fn cps_matches_serial() {
+        let expect = pfold3d_serial(8);
+        for workers in [1, 3] {
+            let (hist, _) = Engine::run(
+                SchedulerConfig::paper(workers),
+                pfold3d_task(8, 4, Cont::ROOT),
+            );
+            assert_eq!(hist, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn spec_matches_serial() {
+        let expect = pfold3d_serial(8);
+        let spec = Pfold3dSpec::new(8, 4);
+        assert_eq!(run_serial(spec), expect);
+        let (hist, _) = SpecEngine::run(SchedulerConfig::paper(2), spec);
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn codec_roundtrips_mid_search() {
+        let root = Pfold3dSpec::new(7, 4);
+        let SpecStep::Expand { children, .. } = root.step() else {
+            panic!("root must expand");
+        };
+        for child in children {
+            let SpecStep::Expand { children, .. } = child.step() else {
+                continue;
+            };
+            for spec in children {
+                let mut words = Vec::new();
+                spec.encode(&mut words);
+                let mut r = WordReader::new(&words);
+                assert_eq!(Pfold3dSpec::decode(&mut r), Some(spec));
+                assert!(r.is_exhausted());
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_tree_is_bushier_than_two_d() {
+        use phish_core::count_tasks;
+        let t2 = count_tasks(crate::pfold::PfoldSpec::new(8, 8));
+        let t3 = count_tasks(Pfold3dSpec::new(8, 8));
+        assert!(
+            t3 > 10 * t2,
+            "3D branching must dwarf 2D: {t3} vs {t2}"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Rays, surfaces, and intersection tests.
+
+use super::vec3::{v3, Vec3};
+
+/// A half-line: origin plus unit direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Starting point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Surface material.
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    /// Diffuse (Lambertian) color.
+    pub diffuse: Vec3,
+    /// Specular highlight strength.
+    pub specular: f64,
+    /// Phong exponent.
+    pub shininess: f64,
+    /// Mirror reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Material {
+    /// A matte material of the given color.
+    pub fn matte(color: Vec3) -> Self {
+        Self {
+            diffuse: color,
+            specular: 0.0,
+            shininess: 1.0,
+            reflectivity: 0.0,
+        }
+    }
+
+    /// A shiny, partially mirrored material.
+    pub fn shiny(color: Vec3, reflectivity: f64) -> Self {
+        Self {
+            diffuse: color,
+            specular: 0.6,
+            shininess: 50.0,
+            reflectivity,
+        }
+    }
+}
+
+/// A renderable object.
+#[derive(Debug, Clone, Copy)]
+pub enum Shape {
+    /// A sphere: center and radius.
+    Sphere {
+        /// Center.
+        center: Vec3,
+        /// Radius (> 0).
+        radius: f64,
+    },
+    /// An infinite plane: a point on it and the unit normal.
+    Plane {
+        /// Any point on the plane.
+        point: Vec3,
+        /// Unit normal.
+        normal: Vec3,
+    },
+}
+
+/// An object in the scene: shape plus material. Checkerboard planes are
+/// common in 1990s ray-tracer demos, so planes support a two-color check.
+#[derive(Debug, Clone, Copy)]
+pub struct Object {
+    /// Geometry.
+    pub shape: Shape,
+    /// Surface material.
+    pub material: Material,
+    /// Optional second diffuse color for a checkerboard pattern.
+    pub check: Option<Vec3>,
+}
+
+/// A ray-surface intersection.
+#[derive(Debug, Clone, Copy)]
+pub struct Hit {
+    /// Ray parameter of the hit point.
+    pub t: f64,
+    /// World-space hit point.
+    pub point: Vec3,
+    /// Unit surface normal at the hit, facing the ray origin.
+    pub normal: Vec3,
+    /// Index of the object hit.
+    pub object: usize,
+}
+
+/// Minimum ray parameter; avoids surface acne on secondary rays.
+pub const T_MIN: f64 = 1e-9;
+
+impl Shape {
+    /// Nearest intersection with `ray` at parameter > `t_min`, if any.
+    pub fn intersect(&self, ray: &Ray, t_min: f64) -> Option<f64> {
+        match *self {
+            Shape::Sphere { center, radius } => {
+                let oc = ray.origin - center;
+                let b = oc.dot(ray.dir);
+                let c = oc.dot(oc) - radius * radius;
+                let disc = b * b - c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                let t1 = -b - sq;
+                if t1 > t_min {
+                    return Some(t1);
+                }
+                let t2 = -b + sq;
+                if t2 > t_min {
+                    return Some(t2);
+                }
+                None
+            }
+            Shape::Plane { point, normal } => {
+                let denom = ray.dir.dot(normal);
+                if denom.abs() < 1e-12 {
+                    return None;
+                }
+                let t = (point - ray.origin).dot(normal) / denom;
+                if t > t_min {
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Outward unit normal at `p` (assumed on the surface).
+    pub fn normal_at(&self, p: Vec3) -> Vec3 {
+        match *self {
+            Shape::Sphere { center, .. } => (p - center).normalized(),
+            Shape::Plane { normal, .. } => normal,
+        }
+    }
+}
+
+/// Effective diffuse color at a point (applies the checkerboard).
+pub fn diffuse_at(obj: &Object, p: Vec3) -> Vec3 {
+    match obj.check {
+        None => obj.material.diffuse,
+        Some(alt) => {
+            let cell = (p.x.floor() as i64 + p.z.floor() as i64).rem_euclid(2);
+            if cell == 0 {
+                obj.material.diffuse
+            } else {
+                alt
+            }
+        }
+    }
+}
+
+/// A point light source.
+#[derive(Debug, Clone, Copy)]
+pub struct Light {
+    /// Position.
+    pub position: Vec3,
+    /// Emitted color/intensity.
+    pub color: Vec3,
+}
+
+/// Convenience: a white light at `position`.
+pub fn white_light(position: Vec3, intensity: f64) -> Light {
+    Light {
+        position,
+        color: v3(intensity, intensity, intensity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(origin: Vec3, toward: Vec3) -> Ray {
+        Ray {
+            origin,
+            dir: (toward - origin).normalized(),
+        }
+    }
+
+    #[test]
+    fn sphere_hit_front() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let r = ray(Vec3::ZERO, v3(0.0, 0.0, 5.0));
+        let t = s.intersect(&r, T_MIN).expect("must hit");
+        assert!((t - 4.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn sphere_miss() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let r = Ray {
+            origin: Vec3::ZERO,
+            dir: v3(0.0, 1.0, 0.0),
+        };
+        assert!(s.intersect(&r, T_MIN).is_none());
+    }
+
+    #[test]
+    fn sphere_from_inside_hits_far_wall() {
+        let s = Shape::Sphere {
+            center: Vec3::ZERO,
+            radius: 2.0,
+        };
+        let r = Ray {
+            origin: Vec3::ZERO,
+            dir: v3(1.0, 0.0, 0.0),
+        };
+        let t = s.intersect(&r, T_MIN).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_behind_ray_missed() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, -5.0),
+            radius: 1.0,
+        };
+        let r = Ray {
+            origin: Vec3::ZERO,
+            dir: v3(0.0, 0.0, 1.0),
+        };
+        assert!(s.intersect(&r, T_MIN).is_none());
+    }
+
+    #[test]
+    fn plane_hit_and_parallel_miss() {
+        let floor = Shape::Plane {
+            point: v3(0.0, -1.0, 0.0),
+            normal: v3(0.0, 1.0, 0.0),
+        };
+        let down = Ray {
+            origin: Vec3::ZERO,
+            dir: v3(0.0, -1.0, 0.0),
+        };
+        assert!((floor.intersect(&down, T_MIN).unwrap() - 1.0).abs() < 1e-12);
+        let level = Ray {
+            origin: Vec3::ZERO,
+            dir: v3(1.0, 0.0, 0.0),
+        };
+        assert!(floor.intersect(&level, T_MIN).is_none());
+    }
+
+    #[test]
+    fn normals_point_outward() {
+        let s = Shape::Sphere {
+            center: Vec3::ZERO,
+            radius: 2.0,
+        };
+        let n = s.normal_at(v3(2.0, 0.0, 0.0));
+        assert!((n - v3(1.0, 0.0, 0.0)).length() < 1e-12);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let obj = Object {
+            shape: Shape::Plane {
+                point: Vec3::ZERO,
+                normal: v3(0.0, 1.0, 0.0),
+            },
+            material: Material::matte(Vec3::ONE),
+            check: Some(Vec3::ZERO),
+        };
+        let a = diffuse_at(&obj, v3(0.5, 0.0, 0.5));
+        let b = diffuse_at(&obj, v3(1.5, 0.0, 0.5));
+        assert_ne!(a, b, "adjacent cells must differ");
+        let c = diffuse_at(&obj, v3(2.5, 0.0, 0.5));
+        assert_eq!(a, c, "cells two apart must match");
+    }
+}

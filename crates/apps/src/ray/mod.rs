@@ -1,0 +1,18 @@
+//! The `ray` application: a Whitted-style ray tracer.
+//!
+//! "The ray-tracing application renders images by tracing light rays around
+//! a mathematical model of a scene." (§4) Its coarse grain — one task per
+//! band of image rows, each tracing thousands of rays — is why Table 1
+//! reports almost no serial slowdown for `ray` (1.04 under Phish).
+
+pub mod geometry;
+pub mod render;
+pub mod scene;
+pub mod vec3;
+
+pub use geometry::{diffuse_at, white_light, Hit, Light, Material, Object, Ray, Shape};
+pub use render::{
+    assemble, closest_hit, render_rows, render_serial, render_task, trace, Band, Pixel, RaySpec,
+};
+pub use scene::{benchmark_scene, Camera, Scene};
+pub use vec3::{v3, Vec3};

@@ -1,0 +1,353 @@
+//! Whitted-style recursive ray tracing plus serial/parallel render drivers.
+//!
+//! The parallel decomposition is by horizontal bands of rows — the coarse
+//! grain that gives `ray` its near-1.0 serial slowdown in Table 1 (1.04 on
+//! the SparcStation 10): tens of tasks, each tracing thousands of rays.
+
+use phish_core::{Cont, SpecStep, SpecTask, TaskFn, Worker};
+
+use super::geometry::{diffuse_at, Hit, Ray, T_MIN};
+use super::scene::{Camera, Scene};
+use super::vec3::Vec3;
+
+/// One rendered pixel, linear RGB in `[0, 1]`.
+pub type Pixel = [f32; 3];
+
+/// A horizontal band of rendered rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Band {
+    /// First row of the band.
+    pub start_row: u32,
+    /// Pixels, row-major, `rows × width`.
+    pub pixels: Vec<Pixel>,
+}
+
+/// Nearest hit of `ray` against the scene.
+pub fn closest_hit(scene: &Scene, ray: &Ray, t_min: f64) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    for (idx, obj) in scene.objects.iter().enumerate() {
+        if let Some(t) = obj.shape.intersect(ray, t_min) {
+            if best.is_none_or(|b| t < b.t) {
+                let point = ray.at(t);
+                let mut normal = obj.shape.normal_at(point);
+                if normal.dot(ray.dir) > 0.0 {
+                    normal = -normal;
+                }
+                best = Some(Hit {
+                    t,
+                    point,
+                    normal,
+                    object: idx,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// True if the straight path from `point` to the light is blocked.
+fn in_shadow(scene: &Scene, point: Vec3, light_pos: Vec3) -> bool {
+    let to_light = light_pos - point;
+    let dist = to_light.length();
+    let ray = Ray {
+        origin: point,
+        dir: to_light / dist,
+    };
+    for obj in &scene.objects {
+        if let Some(t) = obj.shape.intersect(&ray, 1e-6) {
+            if t < dist {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Traces one ray to a color (Whitted: Phong shading + shadows + mirror
+/// reflection up to `scene.max_depth`).
+pub fn trace(scene: &Scene, ray: &Ray, depth: u32) -> Vec3 {
+    let Some(hit) = closest_hit(scene, ray, T_MIN) else {
+        return scene.background;
+    };
+    let obj = &scene.objects[hit.object];
+    let mat = obj.material;
+    let base = diffuse_at(obj, hit.point);
+    let mut color = scene.ambient.hadamard(base);
+    for light in &scene.lights {
+        if in_shadow(scene, hit.point, light.position) {
+            continue;
+        }
+        let to_light = (light.position - hit.point).normalized();
+        let ndotl = hit.normal.dot(to_light).max(0.0);
+        color = color + base.hadamard(light.color) * ndotl;
+        if mat.specular > 0.0 {
+            let refl = (-to_light).reflect(hit.normal);
+            let rdotv = refl.dot(ray.dir).max(0.0);
+            color = color + light.color * (mat.specular * rdotv.powf(mat.shininess));
+        }
+    }
+    if mat.reflectivity > 0.0 && depth < scene.max_depth {
+        let refl_ray = Ray {
+            origin: hit.point,
+            dir: ray.dir.reflect(hit.normal).normalized(),
+        };
+        let reflected = trace(scene, &refl_ray, depth + 1);
+        color = color * (1.0 - mat.reflectivity) + reflected * mat.reflectivity;
+    }
+    color.clamp01()
+}
+
+/// Renders rows `[start, end)` of a `w × h` image.
+pub fn render_rows(scene: &Scene, camera: &Camera, w: u32, h: u32, start: u32, end: u32) -> Band {
+    let mut pixels = Vec::with_capacity(((end - start) * w) as usize);
+    for y in start..end {
+        for x in 0..w {
+            let ray = camera.primary_ray(x, y, w, h);
+            let c = trace(scene, &ray, 0);
+            pixels.push([c.x as f32, c.y as f32, c.z as f32]);
+        }
+    }
+    Band {
+        start_row: start,
+        pixels,
+    }
+}
+
+/// The best serial implementation: render every row in order.
+pub fn render_serial(scene: &Scene, camera: &Camera, w: u32, h: u32) -> Vec<Pixel> {
+    render_rows(scene, camera, w, h, 0, h).pixels
+}
+
+/// Assembles bands (any order) into a full image. Panics if the bands do
+/// not tile `w × h` exactly.
+pub fn assemble(mut bands: Vec<Band>, w: u32, h: u32) -> Vec<Pixel> {
+    bands.sort_by_key(|b| b.start_row);
+    let mut image = Vec::with_capacity((w * h) as usize);
+    let mut next_row = 0;
+    for band in bands {
+        assert_eq!(band.start_row, next_row, "bands must tile the image");
+        assert_eq!(band.pixels.len() % w as usize, 0);
+        next_row += (band.pixels.len() / w as usize) as u32;
+        image.extend(band.pixels);
+    }
+    assert_eq!(next_row, h, "bands must cover the image");
+    image
+}
+
+/// Parallel render in continuation-passing style: one task per band of
+/// `rows_per_band` rows, joined into the assembled image.
+///
+/// The scene is read-shared via `Arc`, standing in for the read-only scene
+/// file every 1994 worker loaded at startup.
+pub fn render_task(
+    scene: std::sync::Arc<Scene>,
+    camera: Camera,
+    w: u32,
+    h: u32,
+    rows_per_band: u32,
+    out: Cont,
+) -> TaskFn<Band> {
+    assert!(rows_per_band > 0);
+    Box::new(move |wk: &mut Worker<Band>| {
+        let n_bands = h.div_ceil(rows_per_band);
+        let cell = wk.join(n_bands as usize, move |bands, wk| {
+            let image = assemble(bands, w, h);
+            wk.post(
+                out,
+                Band {
+                    start_row: 0,
+                    pixels: image,
+                },
+            );
+        });
+        for b in 0..n_bands {
+            let cont = Cont::slot(cell, b);
+            let scene = std::sync::Arc::clone(&scene);
+            let start = b * rows_per_band;
+            let end = (start + rows_per_band).min(h);
+            wk.spawn(move |wk| {
+                let band = render_rows(&scene, &camera, w, h, start, end);
+                wk.post(cont, band);
+            });
+        }
+    })
+}
+
+/// Spec form of the renderer: output is the multiset of bands.
+#[derive(Clone)]
+pub struct RaySpec {
+    /// Shared scene.
+    pub scene: std::sync::Arc<Scene>,
+    /// Camera.
+    pub camera: Camera,
+    /// Image width.
+    pub w: u32,
+    /// Image height.
+    pub h: u32,
+    /// Band granularity.
+    pub rows_per_band: u32,
+    /// This spec's band, or `None` for the root (which fans out).
+    pub band: Option<u32>,
+}
+
+impl std::fmt::Debug for RaySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaySpec")
+            .field("w", &self.w)
+            .field("h", &self.h)
+            .field("band", &self.band)
+            .finish()
+    }
+}
+
+impl SpecTask for RaySpec {
+    type Output = Vec<Band>;
+
+    fn step(self) -> SpecStep<Self> {
+        match self.band {
+            None => {
+                let n_bands = self.h.div_ceil(self.rows_per_band);
+                let children = (0..n_bands)
+                    .map(|b| RaySpec {
+                        band: Some(b),
+                        scene: std::sync::Arc::clone(&self.scene),
+                        ..self
+                    })
+                    .collect();
+                SpecStep::Expand {
+                    children,
+                    partial: Vec::new(),
+                }
+            }
+            Some(b) => {
+                let start = b * self.rows_per_band;
+                let end = (start + self.rows_per_band).min(self.h);
+                SpecStep::Leaf(vec![render_rows(
+                    &self.scene,
+                    &self.camera,
+                    self.w,
+                    self.h,
+                    start,
+                    end,
+                )])
+            }
+        }
+    }
+
+    fn identity() -> Vec<Band> {
+        Vec::new()
+    }
+
+    fn merge(mut a: Vec<Band>, b: Vec<Band>) -> Vec<Band> {
+        a.extend(b);
+        a
+    }
+
+    fn virtual_cost(&self) -> u64 {
+        match self.band {
+            // ~2µs per pixel of real tracing cost, calibrated loosely.
+            Some(_) => 2_000 * u64::from(self.w) * u64::from(self.rows_per_band),
+            None => 1_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scene::benchmark_scene;
+    use super::*;
+    use phish_core::{Engine, SchedulerConfig, SpecEngine};
+    use std::sync::Arc;
+
+    const W: u32 = 32;
+    const H: u32 = 32;
+
+    #[test]
+    fn serial_render_produces_full_image() {
+        let (scene, cam) = benchmark_scene();
+        let img = render_serial(&scene, &cam, W, H);
+        assert_eq!(img.len(), (W * H) as usize);
+        // The image must not be monochrome (scene actually renders).
+        let first = img[0];
+        assert!(img.iter().any(|p| *p != first), "image is monochrome");
+    }
+
+    #[test]
+    fn background_rays_hit_background() {
+        let (scene, _) = benchmark_scene();
+        let up = Ray {
+            origin: Vec3::ZERO,
+            dir: super::super::vec3::v3(0.0, 1.0, 0.0),
+        };
+        // Straight up from the origin: no object covers the sky there.
+        let c = trace(&scene, &up, 0);
+        assert_eq!(c, scene.background.clamp01());
+    }
+
+    #[test]
+    fn shadows_darken() {
+        let (scene, cam) = benchmark_scene();
+        // Render a strip below the central sphere; some pixels must be in
+        // shadow, so the minimum luminance must be well below the maximum.
+        let band = render_rows(&scene, &cam, 64, 64, 40, 48);
+        let lum = |p: &Pixel| 0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2];
+        let min = band.pixels.iter().map(&lum).fold(f64::MAX as f32, f32::min);
+        let max = band.pixels.iter().map(lum).fold(0.0f32, f32::max);
+        assert!(max > min * 2.0, "expected contrast, got {min}..{max}");
+    }
+
+    #[test]
+    fn parallel_render_matches_serial_exactly() {
+        let (scene, cam) = benchmark_scene();
+        let expect = render_serial(&scene, &cam, W, H);
+        let scene = Arc::new(scene);
+        for workers in [1, 3] {
+            let (band, _) = Engine::run(
+                SchedulerConfig::paper(workers),
+                render_task(Arc::clone(&scene), cam, W, H, 4, Cont::ROOT),
+            );
+            assert_eq!(band.start_row, 0);
+            assert_eq!(band.pixels, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn spec_render_matches_serial() {
+        let (scene, cam) = benchmark_scene();
+        let expect = render_serial(&scene, &cam, W, H);
+        let spec = RaySpec {
+            scene: Arc::new(scene),
+            camera: cam,
+            w: W,
+            h: H,
+            rows_per_band: 5,
+            band: None,
+        };
+        let (bands, _) = SpecEngine::run(SchedulerConfig::paper(2), spec);
+        assert_eq!(assemble(bands, W, H), expect);
+    }
+
+    #[test]
+    fn uneven_band_split_covers_image() {
+        let (scene, cam) = benchmark_scene();
+        // 32 rows, 5-row bands → last band has 2 rows.
+        let mut bands = Vec::new();
+        let mut start = 0;
+        while start < H {
+            let end = (start + 5).min(H);
+            bands.push(render_rows(&scene, &cam, W, H, start, end));
+            start = end;
+        }
+        let img = assemble(bands, W, H);
+        assert_eq!(img, render_serial(&scene, &cam, W, H));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn assemble_rejects_gaps() {
+        let (scene, cam) = benchmark_scene();
+        let b0 = render_rows(&scene, &cam, W, H, 0, 4);
+        let b2 = render_rows(&scene, &cam, W, H, 8, 12);
+        assemble(vec![b0, b2], W, H);
+    }
+}

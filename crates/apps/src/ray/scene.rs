@@ -1,0 +1,162 @@
+//! Scene description and the standard benchmark scene.
+
+use super::geometry::{white_light, Light, Material, Object, Shape};
+use super::vec3::{v3, Vec3};
+
+/// A renderable scene: objects, lights, background, camera.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Objects, intersected in order.
+    pub objects: Vec<Object>,
+    /// Point lights.
+    pub lights: Vec<Light>,
+    /// Color returned by rays that escape.
+    pub background: Vec3,
+    /// Constant ambient term.
+    pub ambient: Vec3,
+    /// Maximum reflection recursion depth.
+    pub max_depth: u32,
+}
+
+/// A pinhole camera.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    /// Eye position.
+    pub eye: Vec3,
+    /// Basis: right, up, forward (orthonormal).
+    right: Vec3,
+    up: Vec3,
+    forward: Vec3,
+    /// Half-width of the image plane at unit distance.
+    half_w: f64,
+    /// Half-height of the image plane at unit distance.
+    half_h: f64,
+}
+
+impl Camera {
+    /// A camera at `eye` looking at `target` with the given vertical field
+    /// of view (radians) and image aspect ratio (width/height).
+    pub fn look_at(eye: Vec3, target: Vec3, fov_y: f64, aspect: f64) -> Self {
+        let forward = (target - eye).normalized();
+        let world_up = v3(0.0, 1.0, 0.0);
+        let right = world_up.cross(forward).normalized();
+        let up = forward.cross(right);
+        let half_h = (fov_y / 2.0).tan();
+        Self {
+            eye,
+            right,
+            up,
+            forward,
+            half_w: half_h * aspect,
+            half_h,
+        }
+    }
+
+    /// The primary ray through pixel `(px, py)` of a `w × h` image
+    /// (pixel centers; y grows downward).
+    pub fn primary_ray(&self, px: u32, py: u32, w: u32, h: u32) -> super::geometry::Ray {
+        let sx = ((px as f64 + 0.5) / w as f64) * 2.0 - 1.0;
+        let sy = 1.0 - ((py as f64 + 0.5) / h as f64) * 2.0;
+        let dir = (self.forward + self.right * (sx * self.half_w) + self.up * (sy * self.half_h))
+            .normalized();
+        super::geometry::Ray {
+            origin: self.eye,
+            dir,
+        }
+    }
+}
+
+/// The standard benchmark scene: a checkerboard floor, a 3×3 grid of shiny
+/// spheres, one large mirror sphere, and two lights — the kind of scene the
+/// paper's `ray my-scene` command would have rendered.
+pub fn benchmark_scene() -> (Scene, Camera) {
+    let mut objects = Vec::new();
+    // Floor.
+    objects.push(Object {
+        shape: Shape::Plane {
+            point: v3(0.0, 0.0, 0.0),
+            normal: v3(0.0, 1.0, 0.0),
+        },
+        material: Material::matte(v3(0.9, 0.9, 0.9)),
+        check: Some(v3(0.15, 0.15, 0.2)),
+    });
+    // Grid of small spheres with varying colors and reflectivity.
+    for i in 0..3 {
+        for j in 0..3 {
+            let x = (i as f64 - 1.0) * 2.2;
+            let z = 6.0 + (j as f64 - 1.0) * 2.2;
+            let color = v3(
+                0.3 + 0.3 * i as f64,
+                0.9 - 0.25 * j as f64,
+                0.4 + 0.2 * ((i + j) % 3) as f64,
+            );
+            objects.push(Object {
+                shape: Shape::Sphere {
+                    center: v3(x, 0.75, z),
+                    radius: 0.75,
+                },
+                material: Material::shiny(color, 0.1 + 0.08 * ((i * 3 + j) as f64)),
+                check: None,
+            });
+        }
+    }
+    // Big mirror sphere behind the grid.
+    objects.push(Object {
+        shape: Shape::Sphere {
+            center: v3(0.0, 2.5, 11.0),
+            radius: 2.5,
+        },
+        material: Material::shiny(v3(0.95, 0.95, 0.95), 0.8),
+        check: None,
+    });
+    let scene = Scene {
+        objects,
+        lights: vec![
+            white_light(v3(-6.0, 8.0, 0.0), 0.9),
+            white_light(v3(5.0, 6.0, 2.0), 0.5),
+        ],
+        background: v3(0.25, 0.45, 0.75),
+        ambient: v3(0.08, 0.08, 0.08),
+        max_depth: 4,
+    };
+    let camera = Camera::look_at(v3(0.0, 2.5, -4.0), v3(0.0, 1.0, 6.0), 0.9, 1.0);
+    (scene, camera)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_scene_is_well_formed() {
+        let (scene, _) = benchmark_scene();
+        assert_eq!(scene.objects.len(), 11, "floor + 9 spheres + mirror");
+        assert_eq!(scene.lights.len(), 2);
+        assert!(scene.max_depth >= 1);
+    }
+
+    #[test]
+    fn camera_center_ray_points_forward() {
+        let cam = Camera::look_at(Vec3::ZERO, v3(0.0, 0.0, 10.0), 0.9, 1.0);
+        let r = cam.primary_ray(50, 50, 101, 101);
+        assert!((r.dir - v3(0.0, 0.0, 1.0)).length() < 1e-9);
+    }
+
+    #[test]
+    fn camera_corner_rays_diverge() {
+        let cam = Camera::look_at(Vec3::ZERO, v3(0.0, 0.0, 10.0), 0.9, 1.0);
+        let tl = cam.primary_ray(0, 0, 100, 100);
+        let br = cam.primary_ray(99, 99, 100, 100);
+        assert!(tl.dir.x < 0.0 && tl.dir.y > 0.0);
+        assert!(br.dir.x > 0.0 && br.dir.y < 0.0);
+    }
+
+    #[test]
+    fn camera_basis_is_orthonormal() {
+        let cam = Camera::look_at(v3(1.0, 2.0, 3.0), v3(-2.0, 0.5, 9.0), 1.1, 1.5);
+        assert!(cam.right.dot(cam.up).abs() < 1e-12);
+        assert!(cam.right.dot(cam.forward).abs() < 1e-12);
+        assert!((cam.right.length() - 1.0).abs() < 1e-12);
+        assert!((cam.up.length() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal 3-vector algebra for the ray tracer.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component vector of `f64` (also used for RGB colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x / red.
+    pub x: f64,
+    /// y / green.
+    pub y: f64,
+    /// z / blue.
+    pub z: f64,
+}
+
+/// Construction shorthand.
+pub const fn v3(x: f64, y: f64, z: f64) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = v3(0.0, 0.0, 0.0);
+    /// The all-ones vector (white).
+    pub const ONE: Vec3 = v3(1.0, 1.0, 1.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        v3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction. Panics on the zero vector in debug
+    /// builds (NaN otherwise).
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "normalizing zero vector");
+        self / len
+    }
+
+    /// Componentwise product (color modulation).
+    #[inline]
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        v3(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Reflection of `self` about unit normal `n`.
+    #[inline]
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Componentwise clamp to `[0, 1]`.
+    #[inline]
+    pub fn clamp01(self) -> Vec3 {
+        v3(
+            self.x.clamp(0.0, 1.0),
+            self.y.clamp(0.0, 1.0),
+            self.z.clamp(0.0, 1.0),
+        )
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        v3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        v3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        v3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).length() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = v3(1.0, 2.0, 3.0);
+        let b = v3(4.0, 5.0, 6.0);
+        assert!(close(a + b, v3(5.0, 7.0, 9.0)));
+        assert!(close(b - a, v3(3.0, 3.0, 3.0)));
+        assert!(close(a * 2.0, v3(2.0, 4.0, 6.0)));
+        assert!(close(a / 2.0, v3(0.5, 1.0, 1.5)));
+        assert!(close(-a, v3(-1.0, -2.0, -3.0)));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = v3(1.0, 0.0, 0.0);
+        let y = v3(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert!(close(x.cross(y), v3(0.0, 0.0, 1.0)));
+        assert_eq!(v3(1.0, 2.0, 3.0).dot(v3(4.0, 5.0, 6.0)), 32.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_length() {
+        let n = v3(3.0, 4.0, 0.0).normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+        assert!(close(n, v3(0.6, 0.8, 0.0)));
+    }
+
+    #[test]
+    fn reflection_about_normal() {
+        // Incoming straight down onto a floor reflects straight up.
+        let down = v3(0.0, -1.0, 0.0);
+        let up = v3(0.0, 1.0, 0.0);
+        assert!(close(down.reflect(up), up));
+        // 45-degree bounce.
+        let diag = v3(1.0, -1.0, 0.0).normalized();
+        let out = diag.reflect(up);
+        assert!(close(out, v3(1.0, 1.0, 0.0).normalized()));
+    }
+
+    #[test]
+    fn clamp01_saturates() {
+        assert!(close(
+            v3(-0.5, 0.5, 1.5).clamp01(),
+            v3(0.0, 0.5, 1.0)
+        ));
+    }
+
+    #[test]
+    fn hadamard_modulates() {
+        assert!(close(
+            v3(0.5, 1.0, 0.0).hadamard(v3(1.0, 0.5, 9.0)),
+            v3(0.5, 0.5, 0.0)
+        ));
+    }
+}

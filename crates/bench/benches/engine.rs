@@ -1,0 +1,51 @@
+//! Criterion benchmarks of whole-engine scheduling overhead — the
+//! per-task cost behind Table 1's serial-slowdown numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use phish_apps::{fib_serial, fib_task, FibSpec};
+use phish_core::{Cont, Engine, SchedulerConfig, SpecEngine};
+
+fn bench_fib_serial(c: &mut Criterion) {
+    c.bench_function("engine/fib20/best_serial", |b| {
+        b.iter(|| fib_serial(20))
+    });
+}
+
+fn bench_fib_spec_engine(c: &mut Criterion) {
+    // The "static-lean" runtime of Table 1.
+    let cfg = SchedulerConfig::paper(1);
+    c.bench_function("engine/fib20/spec_1worker", |b| {
+        b.iter(|| SpecEngine::run(cfg, FibSpec { n: 20 }).0)
+    });
+}
+
+fn bench_fib_cps_engine(c: &mut Criterion) {
+    // The full dynamic runtime of Table 1 (join cells + mailboxes).
+    let cfg = SchedulerConfig::paper(1);
+    c.bench_function("engine/fib20/cps_1worker", |b| {
+        b.iter(|| Engine::run(cfg, fib_task(20, Cont::ROOT)).0)
+    });
+}
+
+fn bench_cps_worker_sweep(c: &mut Criterion) {
+    // Thread-count sweep: on a single-core host this measures scheduling
+    // interference, not speedup — the microsim owns the speedup curves.
+    let mut g = c.benchmark_group("engine/fib18_workers");
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = SchedulerConfig::paper(w);
+            b.iter(|| Engine::run(cfg, fib_task(18, Cont::ROOT)).0)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fib_serial,
+    bench_fib_spec_engine,
+    bench_fib_cps_engine,
+    bench_cps_worker_sweep,
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the higher-level scheduling surfaces: the
+//! map/reduce convenience API and the virtual-time microsimulator's
+//! event-processing rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use phish_apps::PfoldSpec;
+use phish_core::{map_reduce, SchedulerConfig};
+use phish_sim::{run_microsim, MicroSimConfig};
+
+fn bench_map_reduce_grain(c: &mut Criterion) {
+    // The Table-1 grain trade-off through the public API: same job, three
+    // chunk sizes.
+    let mut g = c.benchmark_group("scheduler/map_reduce_sum_100k");
+    for chunk in [1usize, 64, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                map_reduce(
+                    SchedulerConfig::paper(2),
+                    (0u64..100_000).collect(),
+                    chunk,
+                    |&i| i,
+                    0u64,
+                    |a, b| a + b,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_microsim_event_rate(c: &mut Criterion) {
+    // Events per second of the discrete-event core: pfold(11) at task-per-
+    // node grain is ~37k simulated tasks.
+    c.bench_function("scheduler/microsim_pfold11_8workers", |b| {
+        let cfg = MicroSimConfig::ethernet(8);
+        b.iter(|| run_microsim(&cfg, PfoldSpec::new(11, 11)))
+    });
+}
+
+criterion_group!(benches, bench_map_reduce_grain, bench_microsim_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the network substrate: raw channel sends, fault
+//! injection, and the full reliability stack — the in-process analogue of
+//! the paper's "software overhead incurred when sending a message".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use phish_net::reliable::ReliableMsg;
+use phish_net::{
+    ChannelNet, LossyConfig, LossyEndpoint, NodeId, ReliableConfig, ReliableEndpoint, SendCost,
+};
+
+fn bench_channel_send_recv(c: &mut Criterion) {
+    let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+    let mut it = eps.into_iter();
+    let a = it.next().unwrap();
+    let b = it.next().unwrap();
+    c.bench_function("transport/channel/send_recv", |bch| {
+        bch.iter(|| {
+            a.send(NodeId(1), black_box(7));
+            black_box(b.try_recv())
+        })
+    });
+}
+
+fn bench_lossy_send(c: &mut Criterion) {
+    let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+    let mut it = eps.into_iter();
+    let mut a = LossyEndpoint::new(it.next().unwrap(), LossyConfig::nasty(1));
+    let b = it.next().unwrap();
+    c.bench_function("transport/lossy/send_recv", |bch| {
+        bch.iter(|| {
+            a.send(NodeId(1), black_box(7));
+            while b.try_recv().is_some() {}
+        })
+    });
+}
+
+fn bench_reliable_roundtrip(c: &mut Criterion) {
+    // One message through the full ack/retransmit/dedup stack on a clean
+    // link: the fixed protocol cost.
+    c.bench_function("transport/reliable/send_pump_clean", |bch| {
+        let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let rel = ReliableConfig {
+            rto: 1_000_000,
+            max_retries: 10,
+        };
+        let mut a = ReliableEndpoint::new(
+            LossyEndpoint::new(it.next().unwrap(), LossyConfig::perfect(1)),
+            rel,
+        );
+        let mut b = ReliableEndpoint::new(
+            LossyEndpoint::new(it.next().unwrap(), LossyConfig::perfect(2)),
+            rel,
+        );
+        let mut now = 0u64;
+        bch.iter(|| {
+            now += 1;
+            a.send(NodeId(1), black_box(9), now);
+            let delivered = b.pump(now);
+            a.pump(now);
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_reliable_under_loss(c: &mut Criterion) {
+    // Amortized cost per delivered message at 20% loss, retransmissions
+    // included.
+    c.bench_function("transport/reliable/100msgs_20pct_loss", |bch| {
+        bch.iter(|| {
+            let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
+            let mut it = eps.into_iter();
+            let rel = ReliableConfig {
+                rto: 10,
+                max_retries: 10_000,
+            };
+            let lossy = LossyConfig {
+                drop_prob: 0.2,
+                dup_prob: 0.0,
+                reorder_prob: 0.0,
+                seed: 42,
+            };
+            let mut a = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), lossy), rel);
+            let mut b = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), lossy), rel);
+            for i in 0..100 {
+                a.send(NodeId(1), i, 0);
+            }
+            let mut got = 0;
+            let mut now = 0;
+            while got < 100 {
+                now += 11;
+                got += b.pump(now).len();
+                a.pump(now);
+            }
+            black_box(got)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channel_send_recv,
+    bench_lossy_send,
+    bench_reliable_roundtrip,
+    bench_reliable_under_loss,
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **§2 owner sovereignty** — idleness policies compared.
+//!
+//! "Some owners may decide that their machines are idle ... only when
+//! nobody is logged in. Other owners may make their machines available so
+//! long as the CPU load is below some threshold." (§2) The paper ships the
+//! conservative policy ("a workstation is deemed idle only when no users
+//! are logged in", §3); this experiment quantifies what that conservatism
+//! costs when owners leave sessions logged in while away — the common
+//! locked-screen workstation.
+//!
+//! ```sh
+//! cargo run --release -p phish-bench --bin idleness_policies
+//! ```
+
+use phish_bench::Table;
+use phish_net::time::SECOND;
+use phish_sim::{run_fleet, FleetConfig, IdlenessChoice, OwnerProfile, SimJobSpec};
+
+fn main() {
+    println!(
+        "§2 — idleness policies on a 32-workstation fleet where owners \
+         leave sessions logged in during a fraction of their away time\n"
+    );
+    let t = Table::new(&[14, 22, 14, 14, 12]);
+    t.row(&[
+        "lingering".into(),
+        "policy".into(),
+        "makespan".into(),
+        "cpu-time".into(),
+        "util %".into(),
+    ]);
+    t.sep();
+    for lingering in [0.0f64, 0.3, 0.6] {
+        for (label, choice) in [
+            ("nobody-logged-in", IdlenessChoice::NobodyLoggedIn),
+            ("load < 0.25", IdlenessChoice::LoadBelow(0.25)),
+        ] {
+            let jobs = vec![SimJobSpec::uniform("sweep", 30_000 * SECOND, 32)];
+            let cfg = FleetConfig {
+                workstations: 32,
+                owner_profile: OwnerProfile::lingering_office_worker(lingering),
+                seed: 77,
+                jobs,
+                shrink_detect_delay: 2 * SECOND,
+                max_time: 72 * 3600 * SECOND,
+                assign_policy: Default::default(),
+                idleness: choice,
+            };
+            let r = run_fleet(&cfg);
+            let makespan = r.completions[0]
+                .map(|c| format!("{:.1} h", c as f64 / 3600e9))
+                .unwrap_or_else(|| "unfinished".into());
+            t.row(&[
+                format!("{:.0}%", lingering * 100.0),
+                label.into(),
+                makespan,
+                format!("{:.0} s", r.busy_time[0] as f64 / 1e9),
+                format!("{:.1}", r.utilization() * 100.0),
+            ]);
+        }
+        t.sep();
+    }
+    println!(
+        "\nexpected shape: with no lingering sessions the policies tie. As \
+         lingering grows, nobody-logged-in leaves those machines unharvested \
+         and the job's makespan stretches, while the load-threshold policy \
+         keeps harvesting — the quantified version of §2's \"other owners \
+         may make their machines available so long as the CPU load is below \
+         some threshold.\" The price of the liberal policy (not modelled \
+         here) is owner goodwill — why the paper defaults to conservatism."
+    );
+}

@@ -1,0 +1,103 @@
+//! **§6 future work** — "implementation of other macro-level scheduling
+//! policies".
+//!
+//! The paper ships non-preemptive round-robin assignment and names policy
+//! studies as future work. This experiment runs the same fleet and job mix
+//! under four assignment policies and reports per-job completion times,
+//! fairness (spread of completions), and utilization.
+//!
+//! Job mix: a wide job, a narrow (capacity-2) job, and a medium job — the
+//! interesting case, because round-robin keeps *assigning* to jobs that
+//! cannot use more machines (they refuse via the capacity check), while
+//! least-loaded/most-demand place machines where they help.
+//!
+//! ```sh
+//! cargo run --release -p phish-bench --bin macro_policies
+//! ```
+
+use phish_bench::Table;
+use phish_macro::AssignPolicy;
+use phish_net::time::SECOND;
+use phish_sim::{run_fleet, FleetConfig, OwnerProfile, SimJobSpec};
+
+fn jobs() -> Vec<SimJobSpec> {
+    // Aggregate demand (16 + 2 + 6 = 24) exceeds the 12-machine fleet, so
+    // the assignment policy decides who waits.
+    vec![
+        SimJobSpec {
+            name: "wide".into(),
+            phases: vec![phish_sim::Phase {
+                work: 3200 * SECOND,
+                parallelism: 16,
+            }],
+            max_participants: Some(16),
+        },
+        SimJobSpec {
+            name: "narrow".into(),
+            phases: vec![phish_sim::Phase {
+                work: 100 * SECOND,
+                parallelism: 2,
+            }],
+            max_participants: Some(2),
+        },
+        SimJobSpec {
+            name: "medium".into(),
+            phases: vec![phish_sim::Phase {
+                work: 900 * SECOND,
+                parallelism: 6,
+            }],
+            max_participants: Some(6),
+        },
+    ]
+}
+
+fn main() {
+    println!("§6 — JobQ assignment policies: 12 workstations, 24 machines of demand\n");
+    let policies = [
+        ("round-robin (paper)", AssignPolicy::RoundRobin),
+        ("least-loaded", AssignPolicy::LeastLoaded),
+        ("first-come-first-served", AssignPolicy::FirstComeFirstServed),
+        ("most-demand", AssignPolicy::MostDemand),
+    ];
+    let t = Table::new(&[26, 10, 10, 10, 12, 10]);
+    t.row(&[
+        "policy".into(),
+        "wide".into(),
+        "narrow".into(),
+        "medium".into(),
+        "makespan".into(),
+        "util %".into(),
+    ]);
+    t.sep();
+    for (label, policy) in policies {
+        let cfg = FleetConfig {
+            assign_policy: policy,
+            owner_profile: OwnerProfile::always_idle(),
+            ..FleetConfig::dedicated(12, jobs())
+        };
+        let r = run_fleet(&cfg);
+        let cell = |i: usize| {
+            r.completions[i]
+                .map(|c| format!("{:.0} s", c as f64 / 1e9))
+                .unwrap_or_else(|| "—".into())
+        };
+        t.row(&[
+            label.into(),
+            cell(0),
+            cell(1),
+            cell(2),
+            format!("{:.0} s", r.makespan as f64 / 1e9),
+            format!("{:.1}", r.utilization() * 100.0),
+        ]);
+    }
+    t.sep();
+    println!(
+        "\nexpected shape: fair policies (round-robin, least-loaded) give every \
+         job machines from the start — short jobs finish early, overall \
+         makespan and utilization are best. Greedy policies (FCFS, \
+         most-demand) hand the whole fleet to the hungriest job: it finishes \
+         sooner, everyone else waits, makespan and utilization suffer. \
+         Round-robin matches least-loaded here with the simplest mechanism — \
+         the implicit argument for the paper shipping it."
+    );
+}

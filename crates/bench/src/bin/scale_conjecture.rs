@@ -1,0 +1,71 @@
+//! **§3 scalability conjecture** — "we conjecture that Phish can be
+//! scaled to over a thousand workstations."
+//!
+//! The argument: the PhishJobQ hears from each JobManager at most once per
+//! 30 seconds, and the Clearinghouse from each worker once per 2 minutes
+//! (plus registration), so central-server load grows only linearly in
+//! machines with tiny constants. This binary sweeps fleet sizes through
+//! the macro-level simulator and prints the measured central-server rates.
+//!
+//! ```sh
+//! cargo run --release -p phish-bench --bin scale_conjecture
+//! ```
+
+use phish_bench::Table;
+use phish_net::time::SECOND;
+use phish_sim::{run_fleet, FleetConfig, OwnerProfile, SimJobSpec};
+
+fn main() {
+    println!("§3 scalability conjecture — central-server load vs fleet size\n");
+    let t = Table::new(&[8, 12, 14, 16, 14, 12]);
+    t.row(&[
+        "fleet".into(),
+        "jobs done".into(),
+        "JobQ msgs".into(),
+        "JobQ msgs/s".into(),
+        "CH msgs".into(),
+        "util %".into(),
+    ]);
+    t.sep();
+    for fleet in [10usize, 100, 1000] {
+        // Work scales with the fleet so every size is kept busy.
+        let work = (fleet as u64) * 60 * SECOND;
+        let jobs = vec![
+            SimJobSpec::uniform("a", work, fleet as u32),
+            SimJobSpec::uniform("b", work / 2, (fleet / 2).max(1) as u32),
+        ];
+        let cfg = FleetConfig {
+            workstations: fleet,
+            owner_profile: OwnerProfile::mostly_idle(),
+            seed: 7,
+            jobs,
+            shrink_detect_delay: 2 * SECOND,
+            max_time: 24 * 3600 * SECOND,
+        assign_policy: phish_macro::AssignPolicy::RoundRobin,
+        idleness: phish_sim::IdlenessChoice::NobodyLoggedIn,
+        };
+        let r = run_fleet(&cfg);
+        let done = r.completions.iter().filter(|c| c.is_some()).count();
+        t.row(&[
+            format!("{fleet}"),
+            format!("{done}/2"),
+            format!("{}", r.jobq_messages),
+            format!("{:.3}", r.jobq_msgs_per_sec()),
+            format!("{}", r.clearinghouse_messages),
+            format!("{:.1}", r.utilization() * 100.0),
+        ]);
+    }
+    t.sep();
+    println!(
+        "\npaper (§3): JobManager↔JobQ at most one exchange per 30 s per \
+         machine; worker↔Clearinghouse one update per 2 min."
+    );
+    println!(
+        "expected shape: JobQ message rate grows linearly in fleet size with a \
+         tiny constant (~one exchange per hunting machine per 30 s): even at \
+         1000 workstations it stays around a dozen messages per second — \
+         orders of magnitude below what one server can answer, supporting \
+         the conjecture. Utilization is bounded by how much of the fleet the \
+         jobs' parallelism can absorb."
+    );
+}

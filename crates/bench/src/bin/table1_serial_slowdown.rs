@@ -1,0 +1,162 @@
+//! **Table 1** — Serial slowdown.
+//!
+//! "The serial slowdown of an application is measured as the ratio of the
+//! single-processor execution time of the parallel code to the execution
+//! time of the best serial implementation of the same algorithm." (§4)
+//!
+//! Paper's numbers:
+//!
+//! |          | CM-5 (Strata) | SparcStation 10 (Phish) |
+//! |----------|---------------|--------------------------|
+//! | fib      | 4.44          | 5.90                     |
+//! | nqueens  | 1.09          | 1.12                     |
+//! | ray      | 1.00          | 1.04                     |
+//!
+//! Columns here: the *static-lean* runtime (SpecEngine — static processor
+//! set, no continuation cells or mailboxes: our analogue of Strata on the
+//! CM-5) and the full *dynamic* Phish runtime (the CPS engine with join
+//! cells, mailboxes, and a dynamic processor set). Expect the orderings to
+//! reproduce — fib ≫ nqueens > ray ≈ 1, and dynamic > static — but the
+//! fib magnitudes to exceed 1994's: a modern CPU performs a plain recursive
+//! call orders of magnitude faster than 1994 hardware, while per-task
+//! scheduling (heap-allocated closures, locked deques) has not shrunk
+//! proportionally. That widening CPU-vs-memory gap is the very trend the
+//! paper cites (§2) as why locality matters.
+//!
+//! ```sh
+//! cargo run --release -p phish-bench --bin table1_serial_slowdown [--quick]
+//! ```
+
+use std::sync::Arc;
+
+use phish_apps::pfold::DEFAULT_SPAWN_DEPTH as PFOLD_DEPTH;
+use phish_apps::ray::{benchmark_scene, render_serial, render_task, RaySpec};
+use phish_apps::{
+    fib_serial, fib_task, nqueens_serial, nqueens_task, pfold_serial, pfold_task, FibSpec,
+    NQueensSpec, PfoldSpec,
+};
+use phish_bench::{fmt_duration, median_time, Table};
+use phish_core::{Cont, Engine, SchedulerConfig, SpecEngine};
+
+fn main() {
+    let quick = phish_bench::flag("quick");
+    let reps = if quick { 1 } else { 3 };
+    let fib_n: u64 = if quick { 24 } else { 28 };
+    let nq_n: u32 = if quick { 9 } else { 11 };
+    let ray_size: u32 = if quick { 64 } else { 160 };
+    let pf_n: usize = if quick { 12 } else { 14 };
+
+    println!("Table 1 — serial slowdown (1-worker parallel time / best-serial time)\n");
+    let cfg = SchedulerConfig::paper(1);
+    let t = Table::new(&[8, 12, 14, 12, 14, 12]);
+    t.row(&[
+        "app".into(),
+        "serial".into(),
+        "static-lean".into(),
+        "slowdown".into(),
+        "phish-dyn".into(),
+        "slowdown".into(),
+    ]);
+    t.sep();
+
+    // fib
+    let (fv, fs) = median_time(reps, || fib_serial(fib_n));
+    let (sv, ss) = median_time(reps, || SpecEngine::run(cfg, FibSpec { n: fib_n }).0);
+    let (pv, ps) = median_time(reps, || {
+        Engine::run(cfg, fib_task(fib_n, Cont::ROOT)).0
+    });
+    assert_eq!(fv, sv);
+    assert_eq!(fv, pv);
+    t.row(&[
+        format!("fib({fib_n})"),
+        fmt_duration(fs),
+        fmt_duration(ss),
+        format!("{:.2}x", ss.as_secs_f64() / fs.as_secs_f64()),
+        fmt_duration(ps),
+        format!("{:.2}x", ps.as_secs_f64() / fs.as_secs_f64()),
+    ]);
+
+    // nqueens
+    let (qv, qs) = median_time(reps, || nqueens_serial(nq_n));
+    let (qsv, qss) = median_time(reps, || SpecEngine::run(cfg, NQueensSpec::new(nq_n, 3)).0);
+    let (qpv, qps) = median_time(reps, || {
+        Engine::run(cfg, nqueens_task(nq_n, 3, Cont::ROOT)).0
+    });
+    assert_eq!(qv, qsv);
+    assert_eq!(qv, qpv);
+    t.row(&[
+        format!("nq({nq_n})"),
+        fmt_duration(qs),
+        fmt_duration(qss),
+        format!("{:.2}x", qss.as_secs_f64() / qs.as_secs_f64()),
+        fmt_duration(qps),
+        format!("{:.2}x", qps.as_secs_f64() / qs.as_secs_f64()),
+    ]);
+
+    // pfold (not in Table 1, but the paper's flagship — included for
+    // completeness at the same grain the paper ran it)
+    let (hv, hs) = median_time(reps, || pfold_serial(pf_n));
+    let (hsv, hss) = median_time(reps, || {
+        SpecEngine::run(cfg, PfoldSpec::new(pf_n, PFOLD_DEPTH)).0
+    });
+    let (hpv, hps) = median_time(reps, || {
+        Engine::run(cfg, pfold_task(pf_n, PFOLD_DEPTH, Cont::ROOT)).0
+    });
+    assert_eq!(hv, hsv);
+    assert_eq!(hv, hpv);
+    t.row(&[
+        format!("pfold({pf_n})"),
+        fmt_duration(hs),
+        fmt_duration(hss),
+        format!("{:.2}x", hss.as_secs_f64() / hs.as_secs_f64()),
+        fmt_duration(hps),
+        format!("{:.2}x", hps.as_secs_f64() / hs.as_secs_f64()),
+    ]);
+
+    // ray
+    let (scene, cam) = benchmark_scene();
+    let (rv, rs) = median_time(reps, || render_serial(&scene, &cam, ray_size, ray_size));
+    let scene = Arc::new(scene);
+    let spec = RaySpec {
+        scene: Arc::clone(&scene),
+        camera: cam,
+        w: ray_size,
+        h: ray_size,
+        rows_per_band: 8,
+        band: None,
+    };
+    let (rsv, rss) = median_time(reps, || {
+        let (bands, _) = SpecEngine::run(cfg, spec.clone());
+        phish_apps::ray::assemble(bands, ray_size, ray_size)
+    });
+    let (rpv, rps) = median_time(reps, || {
+        Engine::run(
+            cfg,
+            render_task(Arc::clone(&scene), cam, ray_size, ray_size, 8, Cont::ROOT),
+        )
+        .0
+        .pixels
+    });
+    assert_eq!(rv, rsv);
+    assert_eq!(rv, rpv);
+    t.row(&[
+        format!("ray({ray_size})"),
+        fmt_duration(rs),
+        fmt_duration(rss),
+        format!("{:.2}x", rss.as_secs_f64() / rs.as_secs_f64()),
+        fmt_duration(rps),
+        format!("{:.2}x", rps.as_secs_f64() / rs.as_secs_f64()),
+    ]);
+
+    t.sep();
+    println!(
+        "\npaper (Table 1):  fib 4.44 (CM-5/Strata) / 5.90 (Phish);  \
+         nqueens 1.09 / 1.12;  ray 1.00 / 1.04"
+    );
+    println!(
+        "expected shape:   fib >> nqueens > ray ~= 1, and the dynamic runtime \
+         pays more than the static one.\n\
+         fib's absolute ratio is larger than 1994's because a modern CPU's \
+         plain call/return shrank far more than a heap-allocated task did."
+    );
+}

@@ -1,0 +1,135 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); this crate holds the common
+//! timing and table-formatting helpers so the binaries stay readable.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure once.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed())
+}
+
+/// Runs `f` once untimed (cache/branch-predictor warmup), then `n` timed
+/// times, returning the median duration (with the last run's value).
+/// Medians plus warmup resist the scheduling noise of a shared host.
+pub fn median_time<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(n >= 1);
+    let _ = f(); // warmup
+    let mut times = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let (v, d) = time(&mut f);
+        times.push(d);
+        last = Some(v);
+    }
+    times.sort();
+    (last.expect("n >= 1"), times[n / 2])
+}
+
+/// A simple fixed-width table printer for experiment output.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// A table with the given column widths.
+    pub fn new(widths: &[usize]) -> Self {
+        Self {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Prints a row, right-aligning all but the first column.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Prints a separator sized to the full table width.
+    pub fn sep(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats virtual nanoseconds in seconds.
+pub fn fmt_virtual_secs(ns: u64) -> String {
+    format!("{:.2} s", ns as f64 / 1e9)
+}
+
+/// Parses `--key value` style arguments with a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == format!("--{name}") {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// True when `--flag` is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn median_is_robust() {
+        let mut i = 0;
+        let (_, d) = median_time(5, || {
+            i += 1;
+            std::thread::sleep(Duration::from_millis(if i == 3 { 30 } else { 2 }));
+        });
+        assert!(d < Duration::from_millis(25), "median must ignore the spike");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50 s");
+        assert_eq!(fmt_virtual_secs(1_500_000_000), "1.50 s");
+    }
+}

@@ -1,0 +1,115 @@
+//! Join cells: the synchronization primitive.
+//!
+//! A join cell is an argument frame with `n` slots and a continuation.
+//! Every post fills one slot; the post that fills the last slot *fires* the
+//! cell, turning the continuation plus collected arguments into a ready
+//! task. This is the missing-arguments-counter synchronization of the
+//! continuation-passing-threads model the paper's applications use.
+
+use crate::task::Task;
+use crate::worker::Worker;
+
+/// The continuation stored in a cell: receives the slot values in slot
+/// order plus the executing worker.
+pub type JoinFn<T> = Box<dyn FnOnce(Vec<T>, &mut Worker<T>) + Send>;
+
+/// A live join cell.
+pub struct Cell<T> {
+    missing: u32,
+    slots: Vec<Option<T>>,
+    cont: Option<JoinFn<T>>,
+}
+
+impl<T: Send + 'static> Cell<T> {
+    /// A cell awaiting `nslots` posts. Panics if `nslots` is zero — a join
+    /// with nothing to wait for is a plain spawn.
+    pub fn new(nslots: usize, cont: JoinFn<T>) -> Self {
+        assert!(nslots > 0, "join cell needs at least one slot");
+        Self {
+            missing: nslots as u32,
+            slots: (0..nslots).map(|_| None).collect(),
+            cont: Some(cont),
+        }
+    }
+
+    /// Number of slots still empty.
+    pub fn missing(&self) -> u32 {
+        self.missing
+    }
+
+    /// Fills `slot` with `value`. Returns the ready continuation task when
+    /// this was the last missing slot.
+    ///
+    /// Panics on a double post to the same slot — that is a programming
+    /// error in the application (each continuation must be posted exactly
+    /// once).
+    pub fn post(&mut self, slot: u32, value: T) -> Option<Task<T>> {
+        let entry = self
+            .slots
+            .get_mut(slot as usize)
+            .unwrap_or_else(|| panic!("post to out-of-range slot {slot}"));
+        assert!(entry.is_none(), "double post to slot {slot}");
+        *entry = Some(value);
+        self.missing -= 1;
+        if self.missing > 0 {
+            return None;
+        }
+        let values: Vec<T> = self
+            .slots
+            .drain(..)
+            .map(|v| v.expect("all slots filled when missing hits zero"))
+            .collect();
+        let cont = self.cont.take().expect("cell fired twice");
+        Some(Task::new(move |w| cont(values, w)))
+    }
+}
+
+impl<T> std::fmt::Debug for Cell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell")
+            .field("missing", &self.missing)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_on_last_post() {
+        let mut c: Cell<u64> = Cell::new(3, Box::new(|vals, _| drop(vals)));
+        assert!(c.post(0, 10).is_none());
+        assert_eq!(c.missing(), 2);
+        assert!(c.post(2, 30).is_none());
+        assert!(c.post(1, 20).is_some(), "third post must fire");
+    }
+
+    #[test]
+    fn single_slot_fires_immediately() {
+        let mut c: Cell<u64> = Cell::new(1, Box::new(|_, _| {}));
+        assert!(c.post(0, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double post")]
+    fn double_post_panics() {
+        let mut c: Cell<u64> = Cell::new(2, Box::new(|_, _| {}));
+        c.post(0, 1);
+        c.post(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_slot_panics() {
+        let mut c: Cell<u64> = Cell::new(1, Box::new(|_, _| {}));
+        c.post(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = Cell::<u64>::new(0, Box::new(|_, _| {}));
+    }
+}

@@ -1,0 +1,217 @@
+//! A tiny fixed-width serialization codec.
+//!
+//! Checkpointing (§6: "These include ... support for checkpointing") needs
+//! task descriptors and partial results to survive a process boundary. The
+//! codec is deliberately primitive — a stream of `u64` words — so it needs
+//! no external serialization dependency and stays trivially portable: the
+//! on-disk format is the word stream in little-endian byte order.
+
+/// Reads a word stream produced by [`WordCodec::encode`].
+#[derive(Debug, Clone)]
+pub struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// Reads from the start of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Takes the next word; `None` at end of stream.
+    pub fn word(&mut self) -> Option<u64> {
+        let w = self.words.get(self.pos).copied();
+        if w.is_some() {
+            self.pos += 1;
+        }
+        w
+    }
+
+    /// Words remaining.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// True when the whole stream has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// Encode/decode as a stream of `u64` words.
+///
+/// Implementations must round-trip: `decode(encode(x)) == x`, consuming
+/// exactly the words `encode` produced (so values can be concatenated).
+pub trait WordCodec: Sized {
+    /// Appends this value's words to `out`.
+    fn encode(&self, out: &mut Vec<u64>);
+
+    /// Reads one value; `None` on malformed/truncated input.
+    fn decode(r: &mut WordReader<'_>) -> Option<Self>;
+}
+
+impl WordCodec for u64 {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        r.word()
+    }
+}
+
+impl WordCodec for usize {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        r.word().map(|w| w as usize)
+    }
+}
+
+impl WordCodec for u32 {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(*self));
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        r.word().and_then(|w| u32::try_from(w).ok())
+    }
+}
+
+impl<T: WordCodec> WordCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        let n = r.word()? as usize;
+        // Cheap sanity bound: a length claiming more items than remaining
+        // words is malformed (every item is ≥ 1 word).
+        if n > r.remaining() {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Some(v)
+    }
+}
+
+impl<A: WordCodec, B: WordCodec> WordCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Serializes a word stream to little-endian bytes (the on-disk format).
+pub fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// Parses little-endian bytes back into words; `None` if the length is not
+/// a multiple of 8.
+pub fn bytes_to_words(bytes: &[u8]) -> Option<Vec<u64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WordCodec + PartialEq + std::fmt::Debug>(x: T) {
+        let mut words = Vec::new();
+        x.encode(&mut words);
+        let mut r = WordReader::new(&words);
+        assert_eq!(T::decode(&mut r), Some(x));
+        assert!(r.is_exhausted(), "decode must consume exactly its words");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(12345usize);
+        roundtrip(7u32);
+    }
+
+    #[test]
+    fn vec_roundtrips() {
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(vec![vec![1u64], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        roundtrip((42u64, vec![1u32, 2]));
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_order() {
+        let mut words = Vec::new();
+        10u64.encode(&mut words);
+        vec![1u64, 2].encode(&mut words);
+        99u64.encode(&mut words);
+        let mut r = WordReader::new(&words);
+        assert_eq!(u64::decode(&mut r), Some(10));
+        assert_eq!(Vec::<u64>::decode(&mut r), Some(vec![1, 2]));
+        assert_eq!(u64::decode(&mut r), Some(99));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut words = Vec::new();
+        vec![1u64, 2, 3].encode(&mut words);
+        words.pop();
+        let mut r = WordReader::new(&words);
+        assert_eq!(Vec::<u64>::decode(&mut r), None);
+    }
+
+    #[test]
+    fn absurd_length_is_none() {
+        let words = [u64::MAX, 1, 2];
+        let mut r = WordReader::new(&words);
+        assert_eq!(Vec::<u64>::decode(&mut r), None);
+    }
+
+    #[test]
+    fn oversized_u32_is_none() {
+        let words = [u64::from(u32::MAX) + 1];
+        let mut r = WordReader::new(&words);
+        assert_eq!(u32::decode(&mut r), None);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let words = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        let bytes = words_to_bytes(&words);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(bytes_to_words(&bytes), Some(words));
+        assert_eq!(bytes_to_words(&bytes[..31]), None);
+    }
+}

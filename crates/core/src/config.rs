@@ -1,0 +1,206 @@
+//! Scheduler configuration.
+//!
+//! The paper's micro-level scheduler makes three specific choices — LIFO
+//! execution order, FIFO steal order, uniformly random victims — and argues
+//! each preserves locality. Every choice is a knob here so the ablation
+//! benchmarks (`ablation_orders`) can demonstrate *why* the paper's settings
+//! win.
+
+use phish_net::Nanos;
+
+/// Which end of its own ready list a worker executes from.
+///
+/// The paper: "While the queue is not empty, the process works on ready
+/// tasks in a LIFO order" — newly spawned tasks go to the head and are
+/// popped from the head, keeping the working set small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecOrder {
+    /// Pop newest first (paper default).
+    Lifo,
+    /// Pop oldest first (ablation: working set balloons).
+    Fifo,
+}
+
+/// Which end of the victim's ready list a thief steals from.
+///
+/// The paper: "stealing tasks is done in a FIFO manner" — the tail of the
+/// list holds tasks near the base of the spawn tree, so one steal moves a
+/// whole subtree's worth of future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealEnd {
+    /// Steal the oldest task (paper default; FIFO steal order).
+    Tail,
+    /// Steal the newest task (ablation: steals leaves, so thieves return
+    /// immediately and communication explodes).
+    Head,
+}
+
+/// How a thief picks its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VictimPolicy {
+    /// "The thief chooses uniformly at random a victim participant"
+    /// (paper default, per Blumofe–Leiserson the provably good choice).
+    UniformRandom,
+    /// Cycle deterministically through participants (ablation).
+    RoundRobin,
+}
+
+/// How steals move between thief and victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealProtocol {
+    /// The thief takes directly from the victim's (shared) ready list.
+    /// Cheapest; models what a shared-memory implementation would do and is
+    /// the default for the threaded engine.
+    SharedMemory,
+    /// The thief sends a steal-request message and the victim replies —
+    /// exactly the paper's distributed protocol. Steal latency becomes the
+    /// victim's task granularity plus two message costs.
+    Message,
+}
+
+/// When an idle worker gives up and leaves the computation.
+///
+/// "If no task can be found even after many attempted steals, the amount of
+/// parallelism in the job must have decreased. In response ... the thief
+/// process terminates" — returning its workstation to the macro scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetirePolicy {
+    /// Workers stay until the job completes (dedicated-cluster mode).
+    Never,
+    /// A worker retires after this many complete rounds of failed steal
+    /// attempts (each round tries every other participant once).
+    AfterFailedRounds(u32),
+}
+
+/// Complete configuration for the micro-level scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Number of participating workers.
+    pub workers: usize,
+    /// Execution order on the local ready list.
+    pub exec_order: ExecOrder,
+    /// Steal end on the victim's ready list.
+    pub steal_end: StealEnd,
+    /// Victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Steal transport.
+    pub steal_protocol: StealProtocol,
+    /// Worker retirement policy.
+    pub retire: RetirePolicy,
+    /// Seed for the per-worker RNG streams (victim selection).
+    pub seed: u64,
+    /// Simulated software overhead charged per inter-worker message, in
+    /// nanoseconds. Models the workstation-LAN cost the paper highlights.
+    pub send_overhead: Nanos,
+    /// Per-worker scheduling-trace capacity in events; 0 disables tracing
+    /// (the default — tracing costs one branch per operation when off).
+    pub trace_capacity: usize,
+    /// Measure per-task busy time (two clock reads per task — meaningful
+    /// for coarse tasks, measurable overhead for fib-grain ones; off by
+    /// default).
+    pub track_busy: bool,
+}
+
+impl SchedulerConfig {
+    /// The paper's configuration for `workers` participants: LIFO execution,
+    /// FIFO (tail) steals, uniformly random victims.
+    pub fn paper(workers: usize) -> Self {
+        Self {
+            workers,
+            exec_order: ExecOrder::Lifo,
+            steal_end: StealEnd::Tail,
+            victim_policy: VictimPolicy::UniformRandom,
+            steal_protocol: StealProtocol::SharedMemory,
+            retire: RetirePolicy::Never,
+            seed: 0x5EED,
+            send_overhead: 0,
+            trace_capacity: 0,
+            track_busy: false,
+        }
+    }
+
+    /// Paper configuration but with the message-based steal protocol, as on
+    /// the real 1994 network.
+    pub fn paper_distributed(workers: usize) -> Self {
+        Self {
+            steal_protocol: StealProtocol::Message,
+            ..Self::paper(workers)
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the per-message software overhead.
+    pub fn with_send_overhead(mut self, overhead: Nanos) -> Self {
+        self.send_overhead = overhead;
+        self
+    }
+
+    /// Enables scheduling traces with the given per-worker capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables per-task busy-time measurement.
+    pub fn with_busy_tracking(mut self) -> Self {
+        self.track_busy = true;
+        self
+    }
+
+    /// Validates invariants (at least one worker).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("SchedulerConfig.workers must be >= 1".into());
+        }
+        if let RetirePolicy::AfterFailedRounds(0) = self.retire {
+            return Err("AfterFailedRounds(0) would retire workers instantly".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_the_paper() {
+        let c = SchedulerConfig::paper(8);
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.exec_order, ExecOrder::Lifo);
+        assert_eq!(c.steal_end, StealEnd::Tail);
+        assert_eq!(c.victim_policy, VictimPolicy::UniformRandom);
+        assert_eq!(c.steal_protocol, StealProtocol::SharedMemory);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn distributed_uses_message_protocol() {
+        let c = SchedulerConfig::paper_distributed(4);
+        assert_eq!(c.steal_protocol, StealProtocol::Message);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(SchedulerConfig::paper(0).validate().is_err());
+    }
+
+    #[test]
+    fn zero_failed_rounds_rejected() {
+        let mut c = SchedulerConfig::paper(2);
+        c.retire = RetirePolicy::AfterFailedRounds(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SchedulerConfig::paper(2).with_seed(9).with_send_overhead(100);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.send_overhead, 100);
+    }
+}

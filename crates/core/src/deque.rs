@@ -1,0 +1,338 @@
+//! Ready-task lists.
+//!
+//! Each participant keeps "its own list of ready tasks whose synchronization
+//! requirements have been met" (§2). The owner pushes newly spawned tasks at
+//! the **head** and (by default) pops from the head — LIFO execution. A
+//! thief takes from the **tail** — FIFO stealing. Both ends are
+//! configuration knobs so the ablation benchmarks can show the alternatives
+//! losing.
+//!
+//! Two implementations:
+//!
+//! * [`ReadyDeque`] — a mutex-protected `VecDeque`. Steals are rare (Table 2
+//!   shows 133 steals against 10.4M tasks), so an uncontended lock per
+//!   operation is cheap, and this version supports all four
+//!   execution-order × steal-end combinations.
+//! * [`lock_free::LockFreeDeque`] — a wrapper over `crossbeam::deque` (Chase–Lev).
+//!   Restricted to the paper's LIFO-execution/FIFO-steal combination, it
+//!   exists to quantify (in `bench/deque.rs`) what the lock costs.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::config::{ExecOrder, StealEnd};
+
+/// A shareable, instrumented ready list.
+///
+/// The owner uses [`push`](Self::push)/[`pop`](Self::pop); thieves use
+/// [`steal`](Self::steal). All methods take `&self`, so the deque is
+/// typically held in an `Arc` and shared with would-be thieves.
+#[derive(Debug)]
+pub struct ReadyDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for ReadyDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReadyDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner operation: insert a newly spawned ready task at the head.
+    /// Returns the queue length after the push (the owner uses it for
+    /// working-set accounting without a second lock).
+    pub fn push(&self, task: T) -> usize {
+        let mut q = self.inner.lock();
+        q.push_front(task);
+        q.len()
+    }
+
+    /// Owner operation: take the next task to execute, with the queue
+    /// length remaining after the pop.
+    pub fn pop(&self, order: ExecOrder) -> Option<(T, usize)> {
+        let mut q = self.inner.lock();
+        let t = match order {
+            ExecOrder::Lifo => q.pop_front(),
+            ExecOrder::Fifo => q.pop_back(),
+        };
+        t.map(|t| (t, q.len()))
+    }
+
+    /// Thief operation: take a task from the configured steal end.
+    pub fn steal(&self, end: StealEnd) -> Option<T> {
+        let mut q = self.inner.lock();
+        match end {
+            StealEnd::Tail => q.pop_back(),
+            StealEnd::Head => q.pop_front(),
+        }
+    }
+
+    /// Current length (racy under concurrency; fine for heuristics/stats).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty (racy under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Removes everything, oldest first — used when a retiring worker
+    /// migrates its remaining work.
+    pub fn drain_all(&self) -> Vec<T> {
+        let mut q = self.inner.lock();
+        let mut out = Vec::with_capacity(q.len());
+        while let Some(t) = q.pop_back() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Chase–Lev work-stealing deque (via crossbeam), fixed to the paper's
+/// LIFO-execution / steal-the-other-end configuration.
+pub mod lock_free {
+    use crossbeam::deque::{Steal, Stealer, Worker};
+
+    /// Owner half: push/pop LIFO.
+    pub struct LockFreeDeque<T> {
+        worker: Worker<T>,
+    }
+
+    /// Thief half: cloneable handle that steals FIFO.
+    pub struct LockFreeStealer<T> {
+        stealer: Stealer<T>,
+    }
+
+    impl<T> Clone for LockFreeStealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                stealer: self.stealer.clone(),
+            }
+        }
+    }
+
+    impl<T> Default for LockFreeDeque<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> LockFreeDeque<T> {
+        /// An empty LIFO deque.
+        pub fn new() -> Self {
+            Self {
+                worker: Worker::new_lifo(),
+            }
+        }
+
+        /// A stealer handle for other workers.
+        pub fn stealer(&self) -> LockFreeStealer<T> {
+            LockFreeStealer {
+                stealer: self.worker.stealer(),
+            }
+        }
+
+        /// Owner push (head).
+        pub fn push(&self, task: T) {
+            self.worker.push(task);
+        }
+
+        /// Owner pop (head — LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.worker.pop()
+        }
+
+        /// True when empty.
+        pub fn is_empty(&self) -> bool {
+            self.worker.is_empty()
+        }
+    }
+
+    impl<T> LockFreeStealer<T> {
+        /// Steal one task from the opposite end, retrying internal races.
+        pub fn steal(&self) -> Option<T> {
+            loop {
+                match self.stealer.steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => return None,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_pop_takes_newest() {
+        let d = ReadyDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(ExecOrder::Lifo), Some((3, 2)));
+        assert_eq!(d.pop(ExecOrder::Lifo), Some((2, 1)));
+        assert_eq!(d.pop(ExecOrder::Lifo), Some((1, 0)));
+        assert_eq!(d.pop(ExecOrder::Lifo), None);
+    }
+
+    #[test]
+    fn fifo_pop_takes_oldest() {
+        let d = ReadyDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(ExecOrder::Fifo), Some((1, 2)));
+        assert_eq!(d.pop(ExecOrder::Fifo), Some((2, 1)));
+        assert_eq!(d.pop(ExecOrder::Fifo), Some((3, 0)));
+    }
+
+    #[test]
+    fn tail_steal_takes_oldest() {
+        // Figure 1(c): with A,B,C,D in the list (A oldest), a thief
+        // steals A from the tail.
+        let d = ReadyDeque::new();
+        for t in ["A", "B", "C", "D"] {
+            d.push(t);
+        }
+        assert_eq!(d.steal(StealEnd::Tail), Some("A"));
+        // Owner keeps working LIFO at the head: D next.
+        assert_eq!(d.pop(ExecOrder::Lifo).map(|p| p.0), Some("D"));
+    }
+
+    #[test]
+    fn head_steal_takes_newest() {
+        let d = ReadyDeque::new();
+        d.push(1);
+        d.push(2);
+        assert_eq!(d.steal(StealEnd::Head), Some(2));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let d = ReadyDeque::new();
+        assert!(d.is_empty());
+        d.push(1);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn drain_all_returns_oldest_first() {
+        let d = ReadyDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.drain_all(), vec![1, 2, 3]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn figure1_scenario() {
+        // Figure 1(a): queue holds A,B,C,D with D newest (at head).
+        let d = ReadyDeque::new();
+        for t in ["A", "B", "C", "D"] {
+            d.push(t);
+        }
+        // (b): owner executes D, which spawns E,F,G at the head.
+        assert_eq!(d.pop(ExecOrder::Lifo).map(|p| p.0), Some("D"));
+        for t in ["E", "F", "G"] {
+            d.push(t);
+        }
+        // (c): a thief steals A from the tail.
+        assert_eq!(d.steal(StealEnd::Tail), Some("A"));
+        // Remaining, head→tail: G,F,E,C,B — owner sees G next and the tail
+        // is now B.
+        assert_eq!(d.pop(ExecOrder::Lifo).map(|p| p.0), Some("G"));
+        assert_eq!(d.steal(StealEnd::Tail), Some("B"));
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate_or_lose() {
+        let d = Arc::new(ReadyDeque::new());
+        const N: usize = 10_000;
+        for i in 0..N {
+            d.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = d.steal(StealEnd::Tail) {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lock_free_lifo_and_steal() {
+        use super::lock_free::LockFreeDeque;
+        let d = LockFreeDeque::new();
+        let s = d.stealer();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3), "owner pops newest");
+        assert_eq!(s.steal(), Some(1), "thief steals oldest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(s.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn lock_free_concurrent_consistency() {
+        use super::lock_free::LockFreeDeque;
+        let d = LockFreeDeque::new();
+        const N: usize = 10_000;
+        for i in 0..N {
+            d.push(i);
+        }
+        let s1 = d.stealer();
+        let s2 = d.stealer();
+        let t1 = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = s1.steal() {
+                got.push(v);
+            }
+            got
+        });
+        let t2 = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = s2.steal() {
+                got.push(v);
+            }
+            got
+        });
+        let mut all = Vec::new();
+        while let Some(v) = d.pop() {
+            all.push(v);
+        }
+        all.extend(t1.join().unwrap());
+        all.extend(t2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+}

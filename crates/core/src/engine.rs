@@ -1,0 +1,405 @@
+//! The threaded execution engine: one OS thread per participating worker.
+//!
+//! `Engine::run` stands in for "a parallel job executing on a set of
+//! workstations": it builds the shared job state, seeds worker 0's ready
+//! list with the root task, runs every worker's scheduling loop on its own
+//! thread, and collects the result plus the per-worker statistics that
+//! Table 2 of the paper reports.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::SchedulerConfig;
+use crate::stats::JobStats;
+use crate::task::{Task, TaskFn};
+use crate::trace::JobTrace;
+use crate::worker::{Shared, Worker};
+
+/// Runs parallel jobs under the micro-level idle-initiated scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Executes `root` under `cfg` and returns the value it (transitively)
+    /// posts to [`crate::Cont::ROOT`], along with job statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or if the job completes
+    /// without any task posting to the root continuation (an application
+    /// bug: every computation must deliver exactly one final result).
+    pub fn run<T: Send + 'static>(cfg: SchedulerConfig, root: TaskFn<T>) -> (T, JobStats) {
+        let (v, stats, _) = Self::run_traced(cfg, root);
+        (v, stats)
+    }
+
+    /// [`Engine::run`] plus the merged scheduling trace. The trace is empty
+    /// unless `cfg.trace_capacity` is non-zero (see
+    /// [`SchedulerConfig::with_trace`]).
+    pub fn run_traced<T: Send + 'static>(
+        cfg: SchedulerConfig,
+        root: TaskFn<T>,
+    ) -> (T, JobStats, JobTrace) {
+        cfg.validate().expect("invalid scheduler configuration");
+        let shared = Arc::new(Shared::new(cfg));
+        shared.deques[0].push(Task { run: root });
+        let start = Instant::now();
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("phish-worker-{i}"))
+                    .spawn(move || {
+                        let mut w = Worker::new(i, sh);
+                        let stats = w.run_loop();
+                        (stats, w.take_trace())
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let mut per_worker = Vec::with_capacity(cfg.workers);
+        let mut buffers = Vec::new();
+        for h in handles {
+            let (stats, trace) = h.join().expect("worker thread panicked");
+            per_worker.push(stats);
+            buffers.extend(trace);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let result = shared
+            .result
+            .lock()
+            .take()
+            .expect("job completed without posting a result to Cont::ROOT");
+        (
+            result,
+            JobStats::from_workers(per_worker, elapsed),
+            JobTrace::merge(buffers),
+        )
+    }
+
+    /// Convenience wrapper taking a closure instead of a boxed task.
+    pub fn run_fn<T: Send + 'static>(
+        cfg: SchedulerConfig,
+        root: impl FnOnce(&mut Worker<T>) + Send + 'static,
+    ) -> (T, JobStats) {
+        Self::run(cfg, Box::new(root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{
+        ExecOrder, RetirePolicy, SchedulerConfig, StealEnd, StealProtocol, VictimPolicy,
+    };
+    use crate::task::Cont;
+
+    #[test]
+    fn trivial_root_posts_result() {
+        let (v, stats) = Engine::run_fn(SchedulerConfig::paper(1), |w: &mut Worker<u64>| {
+            w.post(Cont::ROOT, 42);
+        });
+        assert_eq!(v, 42);
+        assert_eq!(stats.tasks_executed, 1);
+        assert_eq!(stats.synchronizations, 1);
+        assert_eq!(stats.tasks_stolen, 0);
+    }
+
+    #[test]
+    fn spawn_and_join_two_children() {
+        let (v, stats) = Engine::run_fn(SchedulerConfig::paper(1), |w: &mut Worker<u64>| {
+            let (ca, cb) = w.join2(|a, b, w| w.post(Cont::ROOT, a * 10 + b));
+            w.spawn(move |w| w.post(ca, 3));
+            w.spawn(move |w| w.post(cb, 7));
+        });
+        assert_eq!(v, 37, "values must arrive in slot order");
+        // root + 2 children + 1 continuation = 4 tasks.
+        assert_eq!(stats.tasks_executed, 4);
+        assert_eq!(stats.synchronizations, 3);
+        assert_eq!(stats.nonlocal_synchronizations, 0);
+    }
+
+    #[test]
+    fn join_n_collects_in_slot_order() {
+        let (v, _) = Engine::run_fn(SchedulerConfig::paper(1), |w: &mut Worker<u64>| {
+            let cell = w.join(4, |vals, w| {
+                let packed = vals.iter().fold(0, |acc, v| acc * 10 + v);
+                w.post(Cont::ROOT, packed);
+            });
+            for i in 0..4u64 {
+                let cont = Cont::slot(cell, i as u32);
+                w.spawn(move |w| w.post(cont, i + 1));
+            }
+        });
+        assert_eq!(v, 1234);
+    }
+
+    /// A small recursive CPS computation: sum of 1..=n by binary splitting.
+    fn sum_task(lo: u64, hi: u64, out: Cont) -> TaskFn<u64> {
+        Box::new(move |w: &mut Worker<u64>| {
+            if hi - lo <= 4 {
+                w.post(out, (lo..=hi).sum());
+                return;
+            }
+            let mid = (lo + hi) / 2;
+            let (ca, cb) = w.join2(move |a, b, w| w.post(out, a + b));
+            w.spawn(move |w| (sum_task(lo, mid, ca))(w));
+            w.spawn(move |w| (sum_task(mid + 1, hi, cb))(w));
+        })
+    }
+
+    #[test]
+    fn recursive_sum_single_worker() {
+        let (v, stats) = Engine::run(SchedulerConfig::paper(1), sum_task(1, 1000, Cont::ROOT));
+        assert_eq!(v, 500_500);
+        assert!(stats.tasks_executed > 100);
+        assert!(stats.max_tasks_in_use > 0);
+        assert_eq!(stats.tasks_stolen, 0, "one worker cannot steal");
+    }
+
+    #[test]
+    fn recursive_sum_multi_worker_shared_memory() {
+        let cfg = SchedulerConfig::paper(4);
+        let (v, _) = Engine::run(cfg, sum_task(1, 20_000, Cont::ROOT));
+        assert_eq!(v, 200_010_000);
+    }
+
+    /// A root task that cannot complete unless another worker steals: it
+    /// spawns a child that sets a flag, then spins (polling, as a long
+    /// Phish task must) until the flag is set. Its own worker is busy
+    /// spinning, so only a thief can run the child. Completion therefore
+    /// *proves* a steal — deterministically, on any host.
+    fn steal_barrier_root(flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> TaskFn<u64> {
+        use std::sync::atomic::Ordering;
+        Box::new(move |w: &mut Worker<u64>| {
+            let (ca, cb) = w.join2(|a, b, w| w.post(Cont::ROOT, a + b));
+            let child_flag = std::sync::Arc::clone(&flag);
+            w.spawn(move |w| {
+                child_flag.store(true, Ordering::Release);
+                w.post(cb, 2);
+            });
+            while !flag.load(Ordering::Acquire) {
+                w.poll(); // serve steal requests during the long task
+                std::thread::yield_now();
+            }
+            w.post(ca, 1);
+        })
+    }
+
+    #[test]
+    fn steals_happen_shared_memory() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cfg = SchedulerConfig::paper(4);
+        let (v, stats) = Engine::run(cfg, steal_barrier_root(flag));
+        assert_eq!(v, 3);
+        assert!(stats.tasks_stolen > 0, "completion proves a steal");
+    }
+
+    #[test]
+    fn steals_happen_message_protocol() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cfg = SchedulerConfig::paper_distributed(4);
+        let (v, stats) = Engine::run(cfg, steal_barrier_root(flag));
+        assert_eq!(v, 3);
+        assert!(stats.tasks_stolen > 0);
+        // Steal requests and replies are messages.
+        assert!(stats.messages_sent >= 2 * stats.tasks_stolen);
+    }
+
+    #[test]
+    fn nonlocal_synchronizations_counted() {
+        // The barrier guarantees the child runs on a thief, so its post to
+        // the join cell (owned by the root's worker) must be non-local.
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cfg = SchedulerConfig::paper(4).with_seed(123);
+        let (_, stats) = Engine::run(cfg, steal_barrier_root(flag));
+        assert!(
+            stats.nonlocal_synchronizations > 0,
+            "a stolen child posting home is a non-local synch"
+        );
+        assert!(stats.nonlocal_synchronizations <= stats.synchronizations);
+        assert!(
+            stats.messages_sent >= stats.nonlocal_synchronizations,
+            "every non-local synch is a message"
+        );
+    }
+
+    #[test]
+    fn all_order_policy_combinations_compute_the_same_value() {
+        for exec_order in [ExecOrder::Lifo, ExecOrder::Fifo] {
+            for steal_end in [StealEnd::Tail, StealEnd::Head] {
+                for victim in [VictimPolicy::UniformRandom, VictimPolicy::RoundRobin] {
+                    let mut cfg = SchedulerConfig::paper(3);
+                    cfg.exec_order = exec_order;
+                    cfg.steal_end = steal_end;
+                    cfg.victim_policy = victim;
+                    let (v, _) = Engine::run(cfg, sum_task(1, 5000, Cont::ROOT));
+                    assert_eq!(v, 12_502_500, "{exec_order:?}/{steal_end:?}/{victim:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lifo_keeps_working_set_smaller_than_fifo() {
+        // The paper's core locality claim, observable in the stats: LIFO
+        // execution bounds the ready list; FIFO execution floods it.
+        let mut lifo_cfg = SchedulerConfig::paper(1);
+        lifo_cfg.exec_order = ExecOrder::Lifo;
+        let (_, lifo) = Engine::run(lifo_cfg, sum_task(1, 50_000, Cont::ROOT));
+        let mut fifo_cfg = SchedulerConfig::paper(1);
+        fifo_cfg.exec_order = ExecOrder::Fifo;
+        let (_, fifo) = Engine::run(fifo_cfg, sum_task(1, 50_000, Cont::ROOT));
+        assert!(
+            lifo.max_tasks_in_use * 10 < fifo.max_tasks_in_use,
+            "LIFO working set {} should be far below FIFO {}",
+            lifo.max_tasks_in_use,
+            fifo.max_tasks_in_use
+        );
+    }
+
+    #[test]
+    fn retirement_migrates_work_and_job_still_completes() {
+        let mut cfg = SchedulerConfig::paper(4);
+        cfg.retire = RetirePolicy::AfterFailedRounds(2);
+        let (v, stats) = Engine::run(cfg, sum_task(1, 20_000, Cont::ROOT));
+        assert_eq!(v, 200_010_000, "retirement must not lose work");
+        assert_eq!(stats.per_worker.len(), 4);
+    }
+
+    #[test]
+    fn tracing_records_the_schedule() {
+        use crate::trace::TraceEventKind;
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cfg = SchedulerConfig::paper(3).with_trace(10_000);
+        let (v, stats, trace) = Engine::run_traced(cfg, steal_barrier_root(flag));
+        assert_eq!(v, 3);
+        assert!(!trace.events.is_empty());
+        // Every executed task shows up as an Exec event.
+        assert_eq!(
+            trace.count_matching(|k| matches!(k, TraceEventKind::Exec)) as u64,
+            stats.tasks_executed
+        );
+        // The steal edge the barrier guarantees is in the trace.
+        assert!(!trace.steal_edges().is_empty());
+        assert_eq!(
+            trace.count_matching(|k| matches!(k, TraceEventKind::RootPost)),
+            1
+        );
+        // Steal count in trace equals the counter.
+        assert_eq!(
+            trace.steal_edges().len() as u64,
+            stats.tasks_stolen
+        );
+    }
+
+    #[test]
+    fn busy_tracking_measures_task_time() {
+        let cfg = SchedulerConfig::paper(1).with_busy_tracking();
+        let (_, stats) = Engine::run_fn(cfg, |w: &mut Worker<u64>| {
+            // A task that demonstrably takes time.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            w.post(Cont::ROOT, 1);
+        });
+        let busy: u64 = stats.per_worker.iter().map(|w| w.busy_ns).sum();
+        assert!(busy >= 20_000_000, "busy_ns {busy} must cover the sleep");
+        assert!(busy <= stats.per_worker[0].participation_ns);
+        // Off by default: zero.
+        let (_, stats) = Engine::run_fn(SchedulerConfig::paper(1), |w: &mut Worker<u64>| {
+            w.post(Cont::ROOT, 1);
+        });
+        assert_eq!(stats.per_worker[0].busy_ns, 0);
+    }
+
+    #[test]
+    fn double_root_post_is_an_application_bug() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::run_fn(SchedulerConfig::paper(1), |w: &mut Worker<u64>| {
+                w.post(Cont::ROOT, 1);
+                w.post(Cont::ROOT, 2);
+            })
+        });
+        assert!(result.is_err(), "second ROOT post must panic");
+    }
+
+    #[test]
+    fn tracing_disabled_yields_empty_trace() {
+        let (_, _, trace) = Engine::run_traced(
+            SchedulerConfig::paper(2),
+            sum_task(1, 1000, Cont::ROOT),
+        );
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn retirement_stress_across_seeds_and_protocols() {
+        // Aggressive retirement forces many migrations (cells and
+        // mailboxes adopted in chains); correctness must hold for any
+        // seed and either steal protocol.
+        for seed in 0..6 {
+            for protocol in [StealProtocol::SharedMemory, StealProtocol::Message] {
+                let mut cfg = SchedulerConfig::paper(5).with_seed(seed);
+                cfg.retire = RetirePolicy::AfterFailedRounds(1);
+                cfg.steal_protocol = protocol;
+                let (v, stats) = Engine::run(cfg, sum_task(1, 30_000, Cont::ROOT));
+                assert_eq!(v, 450_015_000, "seed {seed} {protocol:?}");
+                assert_eq!(stats.per_worker.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn message_protocol_with_send_overhead() {
+        // Inject the workstation-LAN software overhead on every message;
+        // the run gets slower but stays exact.
+        let cfg = SchedulerConfig::paper_distributed(3).with_send_overhead(20_000);
+        let (v, stats) = Engine::run(cfg, sum_task(1, 5_000, Cont::ROOT));
+        assert_eq!(v, 12_502_500);
+        assert!(stats.per_worker.len() == 3);
+    }
+
+    #[test]
+    fn wide_join_cells() {
+        // A single join with many slots (beyond any small-vector path).
+        let width = 500u64;
+        let (v, _) = Engine::run_fn(SchedulerConfig::paper(2), move |w: &mut Worker<u64>| {
+            let cell = w.join(width as usize, move |vals, w| {
+                w.post(Cont::ROOT, vals.into_iter().sum());
+            });
+            for i in 0..width {
+                let cont = Cont::slot(cell, i as u32);
+                w.spawn(move |w| w.post(cont, i));
+            }
+        });
+        assert_eq!(v, width * (width - 1) / 2);
+    }
+
+    #[test]
+    fn deep_recursion_does_not_overflow_the_worker() {
+        // A long dependency chain: task i spawns task i+1; depth 50k. The
+        // scheduler must iterate, not recurse, per task.
+        fn chain(depth: u64, out: Cont) -> TaskFn<u64> {
+            Box::new(move |w: &mut Worker<u64>| {
+                if depth == 0 {
+                    w.post(out, 0);
+                    return;
+                }
+                let cell = w.join(1, move |vals, w| w.post(out, vals[0] + 1));
+                let cont = Cont::slot(cell, 0);
+                w.spawn(move |w| chain(depth - 1, cont)(w));
+            })
+        }
+        let (v, _) = Engine::run(SchedulerConfig::paper(1), chain(50_000, Cont::ROOT));
+        assert_eq!(v, 50_000);
+    }
+
+    #[test]
+    fn deterministic_result_across_seeds() {
+        for seed in 0..5 {
+            let cfg = SchedulerConfig::paper(3).with_seed(seed);
+            let (v, _) = Engine::run(cfg, sum_task(1, 10_000, Cont::ROOT));
+            assert_eq!(v, 50_005_000);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # phish-core — the micro-level idle-initiated scheduler
+//!
+//! A reproduction of the intra-application scheduler of *Scheduling
+//! Large-Scale Parallel Computations on Networks of Workstations* (Blumofe
+//! & Park, HPDC '94): each participating worker executes its local ready
+//! tasks in **LIFO** order, and when it runs out it becomes a *thief*,
+//! choosing a victim **uniformly at random** and stealing the task at the
+//! **tail** of the victim's ready list (**FIFO** steal order). LIFO
+//! execution keeps the working set small; FIFO stealing moves whole
+//! subtrees, so steals — and therefore messages — stay rare.
+//!
+//! Two programming models are provided:
+//!
+//! * **Continuation-passing tasks** ([`Engine`], [`Worker`], [`Cont`]) —
+//!   the general model, mirroring the continuation-passing-threads style
+//!   the paper's applications were written in. Tasks spawn children and
+//!   synchronize through join cells.
+//! * **Spec tasks** ([`SpecTask`], [`SpecEngine`]) — self-describing,
+//!   re-executable tasks with monoid results, used by the fault-tolerance
+//!   layer (lost work must be re-creatable) and the discrete-event
+//!   simulator (tasks must be costable).
+//!
+//! Every scheduling decision the paper fixes is a knob in
+//! [`SchedulerConfig`], so the ablation benchmarks can demonstrate *why*
+//! the paper's choices win.
+//!
+//! ## Example
+//!
+//! ```
+//! use phish_core::{Cont, Engine, SchedulerConfig, Worker};
+//!
+//! // fib(10) with one join cell per interior call.
+//! fn fib(n: u64, out: Cont) -> Box<dyn FnOnce(&mut Worker<u64>) + Send> {
+//!     Box::new(move |w| {
+//!         if n < 2 {
+//!             w.post(out, n);
+//!             return;
+//!         }
+//!         let (ca, cb) = w.join2(move |a, b, w| w.post(out, a + b));
+//!         w.spawn(move |w| fib(n - 1, ca)(w));
+//!         w.spawn(move |w| fib(n - 2, cb)(w));
+//!     })
+//! }
+//!
+//! let (value, stats) = Engine::run(SchedulerConfig::paper(2), fib(10, Cont::ROOT));
+//! assert_eq!(value, 55);
+//! assert!(stats.tasks_executed > 100);
+//! ```
+
+pub mod cell;
+pub mod codec;
+pub mod config;
+pub mod deque;
+pub mod engine;
+pub mod mapreduce;
+pub mod slab;
+pub mod spec;
+pub mod spec_engine;
+pub mod stats;
+pub mod task;
+pub mod trace;
+pub mod worker;
+
+pub use cell::Cell;
+pub use codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
+pub use config::{
+    ExecOrder, RetirePolicy, SchedulerConfig, StealEnd, StealProtocol, VictimPolicy,
+};
+pub use deque::ReadyDeque;
+pub use engine::Engine;
+pub use mapreduce::map_reduce;
+pub use slab::{Slab, SlabKey};
+pub use spec::{count_tasks, run_serial, SpecStep, SpecTask};
+pub use spec_engine::SpecEngine;
+pub use stats::{JobStats, WorkerStats};
+pub use task::{CellRef, Cont, Msg, Task, TaskFn, WorkerId};
+pub use trace::{JobTrace, TraceBuffer, TraceEvent, TraceEventKind};
+pub use worker::Worker;

@@ -1,0 +1,371 @@
+//! A small generational slab used to store live join cells.
+//!
+//! Join cells are allocated and freed millions of times per run (one per
+//! spawn site), so the allocator must be O(1) with no per-operation heap
+//! traffic beyond the cell payload itself. Generations catch the classic
+//! dangling-handle bug: posting to a cell that already fired and whose slot
+//! was recycled is detected instead of silently corrupting an unrelated
+//! cell.
+
+/// A handle into a [`Slab`]: index plus generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabKey {
+    /// Slot index.
+    pub index: u32,
+    /// Generation the slot had when allocated.
+    pub gen: u32,
+}
+
+enum Slot<T> {
+    Vacant { next_free: u32 },
+    Occupied(T),
+}
+
+/// Generational arena with an intrusive free list.
+pub struct Slab<T> {
+    slots: Vec<(u32, Slot<T>)>,
+    free_head: u32,
+    len: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, returning its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let (gen, slot) = &mut self.slots[index as usize];
+            let Slot::Vacant { next_free } = *slot else {
+                unreachable!("free list points at occupied slot");
+            };
+            self.free_head = next_free;
+            *slot = Slot::Occupied(value);
+            SlabKey { index, gen: *gen }
+        } else {
+            let index = self.slots.len() as u32;
+            assert!(index != NIL, "slab capacity exhausted");
+            self.slots.push((0, Slot::Occupied(value)));
+            SlabKey { index, gen: 0 }
+        }
+    }
+
+    /// Immutable access; `None` if the key is stale or vacant.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.slots.get(key.index as usize) {
+            Some((gen, Slot::Occupied(v))) if *gen == key.gen => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access; `None` if the key is stale or vacant.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some((gen, Slot::Occupied(v))) if *gen == key.gen => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the entry; `None` if the key is stale or vacant.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let (gen, slot) = self.slots.get_mut(key.index as usize)?;
+        if *gen != key.gen || matches!(slot, Slot::Vacant { .. }) {
+            return None;
+        }
+        *gen = gen.wrapping_add(1);
+        let old = std::mem::replace(
+            slot,
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = key.index;
+        self.len -= 1;
+        match old {
+            Slot::Occupied(v) => Some(v),
+            Slot::Vacant { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Removes and returns all live entries (used when a retiring worker
+    /// migrates its cells to an adoptive worker).
+    pub fn drain_all(&mut self) -> Vec<(SlabKey, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (index, (gen, slot)) in self.slots.iter_mut().enumerate() {
+            if matches!(slot, Slot::Occupied(_)) {
+                let key = SlabKey {
+                    index: index as u32,
+                    gen: *gen,
+                };
+                *gen = gen.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = index as u32;
+                if let Slot::Occupied(v) = old {
+                    out.push((key, v));
+                }
+            }
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Re-inserts an entry under a specific key (the receiving side of a
+    /// cell migration). The slot must currently be vacant or beyond the end;
+    /// the generation is forced to the key's.
+    pub fn insert_at(&mut self, key: SlabKey, value: T) {
+        let idx = key.index as usize;
+        while self.slots.len() <= idx {
+            // Newly materialised slots are vacant but deliberately NOT put
+            // on the free list: their generations are controlled by the
+            // migrating keys, and fresh local inserts must not collide.
+            self.slots.push((u32::MAX, Slot::Vacant { next_free: NIL }));
+        }
+        let (gen, slot) = &mut self.slots[idx];
+        assert!(
+            matches!(slot, Slot::Vacant { .. }),
+            "insert_at over a live entry"
+        );
+        *gen = key.gen;
+        *slot = Slot::Occupied(value);
+        self.len += 1;
+        // Occupying a slot that may sit on the free list invalidates the
+        // list (the link lived in the Vacant variant we just replaced).
+        // Migration is rare and never on the hot path, so rebuild outright.
+        self.rebuild_free_list();
+    }
+
+    /// Builds a slab holding exactly `entries`, each under its original
+    /// key — the bulk receiving side of a cell migration. O(n + max index).
+    pub fn from_entries(entries: Vec<(SlabKey, T)>) -> Self {
+        let mut slab = Self::new();
+        let max_index = entries.iter().map(|(k, _)| k.index).max();
+        if let Some(max) = max_index {
+            slab.slots
+                .resize_with((max + 1) as usize, || (u32::MAX, Slot::Vacant { next_free: NIL }));
+        }
+        for (key, value) in entries {
+            let (gen, slot) = &mut slab.slots[key.index as usize];
+            assert!(
+                matches!(slot, Slot::Vacant { .. }),
+                "duplicate key in from_entries"
+            );
+            *gen = key.gen;
+            *slot = Slot::Occupied(value);
+            slab.len += 1;
+        }
+        slab.rebuild_free_list();
+        slab
+    }
+
+    fn rebuild_free_list(&mut self) {
+        self.free_head = NIL;
+        for i in (0..self.slots.len()).rev() {
+            if let (_, Slot::Vacant { next_free }) = &mut self.slots[i] {
+                *next_free = self.free_head;
+                self.free_head = i as u32;
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let k = s.insert("hello");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(k), Some(&"hello"));
+        assert_eq!(s.remove(k), Some("hello"));
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.get(k), None);
+    }
+
+    #[test]
+    fn stale_key_rejected_after_reuse() {
+        let mut s = Slab::new();
+        let k1 = s.insert(1);
+        s.remove(k1);
+        let k2 = s.insert(2);
+        assert_eq!(k1.index, k2.index, "slot must be reused");
+        assert_ne!(k1.gen, k2.gen, "generation must differ");
+        assert_eq!(s.get(k1), None, "stale key must miss");
+        assert_eq!(s.get(k2), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut s = Slab::new();
+        let k = s.insert(10);
+        *s.get_mut(k).unwrap() += 5;
+        assert_eq!(s.get(k), Some(&15));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let k = s.insert(9);
+        assert_eq!(s.remove(k), Some(9));
+        assert_eq!(s.remove(k), None);
+    }
+
+    #[test]
+    fn free_list_reuses_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert('a');
+        let b = s.insert('b');
+        s.remove(a);
+        s.remove(b);
+        let c = s.insert('c');
+        assert_eq!(c.index, b.index, "most recently freed first");
+    }
+
+    #[test]
+    fn many_inserts_removals_stay_consistent() {
+        let mut s = Slab::new();
+        let mut keys = Vec::new();
+        for i in 0..1000 {
+            keys.push(s.insert(i));
+        }
+        for (i, k) in keys.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+            assert_eq!(s.remove(*k), Some(i));
+        }
+        assert_eq!(s.len(), 1000 - 334);
+        for (i, k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(s.get(*k), None);
+            } else {
+                assert_eq!(s.get(*k), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn drain_all_empties_and_keys_remain_stale() {
+        let mut s = Slab::new();
+        let k1 = s.insert(1);
+        let k2 = s.insert(2);
+        let drained = s.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.get(k1), None);
+        assert_eq!(s.get(k2), None);
+        let keys: Vec<SlabKey> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys[0].index, k1.index);
+        assert_eq!(keys[1].index, k2.index);
+    }
+
+    #[test]
+    fn migration_roundtrip_preserves_keys() {
+        let mut src = Slab::new();
+        let keys: Vec<_> = (0..10).map(|i| src.insert(i)).collect();
+        let moved = src.drain_all();
+        let mut dst = Slab::new();
+        for (k, v) in moved {
+            dst.insert_at(k, v);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(dst.get(*k), Some(&i), "migrated key must resolve");
+        }
+        assert_eq!(dst.len(), 10);
+        // Fresh inserts into the destination must not collide.
+        let fresh = dst.insert(99);
+        assert_eq!(dst.get(fresh), Some(&99));
+        for k in &keys {
+            assert_ne!(
+                (fresh.index, fresh.gen),
+                (k.index, k.gen),
+                "fresh key collided with migrated key"
+            );
+        }
+    }
+
+    #[test]
+    fn from_entries_bulk_migration() {
+        let mut src = Slab::new();
+        let keys: Vec<_> = (0..100).map(|i| src.insert(i)).collect();
+        // Free some so the key space has holes.
+        for k in keys.iter().step_by(4) {
+            src.remove(*k);
+        }
+        let dst = Slab::from_entries(src.drain_all());
+        assert_eq!(dst.len(), 75);
+        for (i, k) in keys.iter().enumerate() {
+            if i % 4 == 0 {
+                assert_eq!(dst.get(*k), None);
+            } else {
+                assert_eq!(dst.get(*k), Some(&i));
+            }
+        }
+        let mut dst = dst;
+        let fresh = dst.insert(1234);
+        assert_eq!(dst.get(fresh), Some(&1234));
+    }
+
+    #[test]
+    fn insert_at_into_used_slab() {
+        let mut dst = Slab::new();
+        let local = dst.insert(100);
+        dst.insert_at(SlabKey { index: 5, gen: 3 }, 200);
+        assert_eq!(dst.get(local), Some(&100));
+        assert_eq!(dst.get(SlabKey { index: 5, gen: 3 }), Some(&200));
+        assert_eq!(dst.len(), 2);
+        // Subsequent inserts find vacant slots without touching either.
+        for i in 0..10 {
+            dst.insert(i);
+        }
+        assert_eq!(dst.get(local), Some(&100));
+        assert_eq!(dst.get(SlabKey { index: 5, gen: 3 }), Some(&200));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_at over a live entry")]
+    fn insert_at_over_live_entry_panics() {
+        let mut s = Slab::new();
+        let k = s.insert(1);
+        s.insert_at(k, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Descriptor-based ("spec") tasks.
+//!
+//! The closure-based model in [`crate::task`] is the general programming
+//! interface, but closures cannot be re-executed after a crash or costed in
+//! a simulator. A [`SpecTask`] is a *self-describing* task: a plain data
+//! value that knows how to take one execution step, expanding into child
+//! specs and/or a partial result. Results merge through an associative,
+//! commutative monoid, so it never matters which worker computed which part
+//! or in what order the parts arrive.
+//!
+//! Three consumers:
+//! * [`run_serial`] — the direct-call elision (best-serial baseline shape).
+//! * [`crate::spec_engine::SpecEngine`] — threaded work stealing.
+//! * `phish-ft::RecoveringEngine` and `phish-sim`'s microsim — crash
+//!   recovery and virtual-time simulation, both of which need tasks they
+//!   can re-create and cost, which closures cannot provide.
+
+use phish_net::Nanos;
+
+/// One execution step of a spec task.
+pub enum SpecStep<S: SpecTask> {
+    /// The task expanded: `children` become ready tasks; `partial` is
+    /// result mass produced by this step itself.
+    Expand {
+        /// Newly spawned child specs.
+        children: Vec<S>,
+        /// Result contribution of this step.
+        partial: S::Output,
+    },
+    /// The task was a leaf with this result.
+    Leaf(S::Output),
+}
+
+/// A re-creatable, mergeable unit of work.
+///
+/// Implementations must be pure: `step`ping equal specs yields equal
+/// results. That purity is what makes crash recovery by re-execution sound.
+pub trait SpecTask: Send + Clone + Sized + 'static {
+    /// The result type; a commutative monoid under
+    /// [`merge`](SpecTask::merge) with identity
+    /// [`identity`](SpecTask::identity).
+    type Output: Send + Clone + 'static;
+
+    /// Executes this task, possibly expanding children.
+    fn step(self) -> SpecStep<Self>;
+
+    /// The monoid identity (an empty result).
+    fn identity() -> Self::Output;
+
+    /// Merges two partial results. Must be associative and commutative.
+    fn merge(a: Self::Output, b: Self::Output) -> Self::Output;
+
+    /// Virtual execution time charged by the discrete-event simulator for
+    /// stepping this spec. Defaults to 1µs; applications override it with
+    /// calibrated per-task costs.
+    fn virtual_cost(&self) -> Nanos {
+        1_000
+    }
+}
+
+/// Executes the whole spec tree depth-first on the calling thread —
+/// the serial elision of the parallel program.
+pub fn run_serial<S: SpecTask>(root: S) -> S::Output {
+    let mut acc = S::identity();
+    let mut stack = vec![root];
+    while let Some(spec) = stack.pop() {
+        match spec.step() {
+            SpecStep::Leaf(out) => acc = S::merge(acc, out),
+            SpecStep::Expand { children, partial } => {
+                acc = S::merge(acc, partial);
+                stack.extend(children);
+            }
+        }
+    }
+    acc
+}
+
+/// Counts tasks in a spec tree (for sizing experiments to the paper's
+/// 10.4-million-task pfold runs).
+pub fn count_tasks<S: SpecTask>(root: S) -> u64 {
+    let mut n = 0u64;
+    let mut stack = vec![root];
+    while let Some(spec) = stack.pop() {
+        n += 1;
+        if let SpecStep::Expand { children, .. } = spec.step() {
+            stack.extend(children);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+pub(crate) mod test_specs {
+    use super::*;
+
+    /// Sum of 1..=n by binary splitting — the canonical test spec.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RangeSum {
+        pub lo: u64,
+        pub hi: u64,
+    }
+
+    impl SpecTask for RangeSum {
+        type Output = u64;
+
+        fn step(self) -> SpecStep<Self> {
+            if self.hi - self.lo <= 4 {
+                SpecStep::Leaf((self.lo..=self.hi).sum())
+            } else {
+                let mid = (self.lo + self.hi) / 2;
+                SpecStep::Expand {
+                    children: vec![
+                        RangeSum {
+                            lo: self.lo,
+                            hi: mid,
+                        },
+                        RangeSum {
+                            lo: mid + 1,
+                            hi: self.hi,
+                        },
+                    ],
+                    partial: 0,
+                }
+            }
+        }
+
+        fn identity() -> u64 {
+            0
+        }
+
+        fn merge(a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_specs::RangeSum;
+    use super::*;
+
+    #[test]
+    fn serial_run_computes_sum() {
+        assert_eq!(run_serial(RangeSum { lo: 1, hi: 1000 }), 500_500);
+    }
+
+    #[test]
+    fn leaf_only_tree() {
+        assert_eq!(run_serial(RangeSum { lo: 1, hi: 3 }), 6);
+        assert_eq!(count_tasks(RangeSum { lo: 1, hi: 3 }), 1);
+    }
+
+    #[test]
+    fn count_tasks_counts_interior_nodes() {
+        let n = count_tasks(RangeSum { lo: 1, hi: 100 });
+        assert!(n > 20, "binary splitting of 100 gives many tasks, got {n}");
+        // Re-stepping is pure: same count every time.
+        assert_eq!(n, count_tasks(RangeSum { lo: 1, hi: 100 }));
+    }
+
+    #[test]
+    fn default_virtual_cost_is_positive() {
+        assert!(RangeSum { lo: 0, hi: 1 }.virtual_cost() > 0);
+    }
+}

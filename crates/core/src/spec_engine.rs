@@ -1,0 +1,326 @@
+//! Threaded work-stealing execution of [`SpecTask`] trees.
+//!
+//! Same scheduling discipline as the closure engine — local LIFO execution,
+//! random-victim FIFO steals — but over self-describing tasks whose results
+//! merge through a monoid. Termination uses a global outstanding-task
+//! counter instead of a root continuation: when the last spec finishes and
+//! no children were added, the job is done and every worker's local
+//! accumulator is merged.
+//!
+//! The fault-tolerance crate builds its ledger-based recovering engine on
+//! the same trait; this engine is the crash-free reference implementation
+//! the recovery results are checked against.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SchedulerConfig;
+use crate::deque::ReadyDeque;
+use crate::spec::{SpecStep, SpecTask};
+use crate::stats::{JobStats, WorkerStats};
+
+struct SpecShared<S: SpecTask> {
+    cfg: SchedulerConfig,
+    deques: Vec<ReadyDeque<S>>,
+    /// Specs spawned but not yet fully stepped. Zero ⇒ job complete.
+    outstanding: AtomicU64,
+    done: AtomicBool,
+}
+
+/// Work-stealing executor for spec trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecEngine;
+
+impl SpecEngine {
+    /// Runs the tree rooted at `root` on `cfg.workers` threads and returns
+    /// the merged result plus job statistics.
+    pub fn run<S: SpecTask>(cfg: SchedulerConfig, root: S) -> (S::Output, JobStats) {
+        Self::run_many(cfg, vec![root], S::identity())
+    }
+
+    /// Runs a whole *frontier* of ready specs, folding their results into
+    /// `acc0` — the parallel resume path for checkpoints (a checkpoint is
+    /// exactly a frontier plus the accumulated partial result).
+    ///
+    /// An empty frontier returns `acc0` immediately.
+    pub fn run_many<S: SpecTask>(
+        cfg: SchedulerConfig,
+        frontier: Vec<S>,
+        acc0: S::Output,
+    ) -> (S::Output, JobStats) {
+        cfg.validate().expect("invalid scheduler configuration");
+        if frontier.is_empty() {
+            return (acc0, JobStats::from_workers(vec![], 0));
+        }
+        let shared = Arc::new(SpecShared {
+            cfg,
+            deques: (0..cfg.workers).map(|_| ReadyDeque::new()).collect(),
+            outstanding: AtomicU64::new(frontier.len() as u64),
+            done: AtomicBool::new(false),
+        });
+        // Scatter the frontier round-robin; thieves rebalance the rest.
+        for (i, spec) in frontier.into_iter().enumerate() {
+            shared.deques[i % cfg.workers].push(spec);
+        }
+        let start = Instant::now();
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("phish-spec-{i}"))
+                    .spawn(move || spec_worker_loop(i, sh))
+                    .expect("spawn spec worker")
+            })
+            .collect();
+        let mut acc = acc0;
+        let mut per_worker = Vec::with_capacity(cfg.workers);
+        for h in handles {
+            let (partial, stats) = h.join().expect("spec worker panicked");
+            acc = S::merge(acc, partial);
+            per_worker.push(stats);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        (acc, JobStats::from_workers(per_worker, elapsed))
+    }
+}
+
+fn spec_worker_loop<S: SpecTask>(id: usize, shared: Arc<SpecShared<S>>) -> (S::Output, WorkerStats) {
+    let cfg = shared.cfg;
+    let seed = cfg.seed ^ ((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rr_cursor = id;
+    let mut stats = WorkerStats::default();
+    let mut acc = S::identity();
+    let start = Instant::now();
+
+    while !shared.done.load(Ordering::Acquire) {
+        // Local work, LIFO/FIFO per config.
+        if let Some((spec, len)) = shared.deques[id].pop(cfg.exec_order) {
+            stats.sample_in_use(len as u64 + 1);
+            stats.tasks_executed += 1;
+            match spec.step() {
+                SpecStep::Leaf(out) => {
+                    acc = S::merge(acc, out);
+                    finish_one(&shared);
+                }
+                SpecStep::Expand { children, partial } => {
+                    acc = S::merge(acc, partial);
+                    stats.tasks_spawned += children.len() as u64;
+                    shared
+                        .outstanding
+                        .fetch_add(children.len() as u64, Ordering::AcqRel);
+                    let mut len = 0;
+                    for child in children {
+                        len = shared.deques[id].push(child);
+                    }
+                    stats.sample_in_use(len as u64 + 1);
+                    finish_one(&shared);
+                }
+            }
+            continue;
+        }
+        // Steal.
+        let n = cfg.workers;
+        if n > 1 {
+            let victim = match cfg.victim_policy {
+                crate::config::VictimPolicy::UniformRandom => {
+                    let mut v = rng.gen_range(0..n - 1);
+                    if v >= id {
+                        v += 1;
+                    }
+                    v
+                }
+                crate::config::VictimPolicy::RoundRobin => {
+                    rr_cursor = rr_cursor.wrapping_add(1);
+                    let mut v = rr_cursor % (n - 1);
+                    if v >= id {
+                        v += 1;
+                    }
+                    v
+                }
+            };
+            match shared.deques[victim].steal(cfg.steal_end) {
+                Some(spec) => {
+                    stats.tasks_stolen += 1;
+                    shared.deques[id].push(spec);
+                    continue;
+                }
+                None => stats.failed_steal_attempts += 1,
+            }
+        }
+        std::hint::spin_loop();
+        std::thread::yield_now();
+    }
+    stats.participation_ns = start.elapsed().as_nanos() as u64;
+    (acc, stats)
+}
+
+#[inline]
+fn finish_one<S: SpecTask>(shared: &SpecShared<S>) {
+    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.done.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecOrder, SchedulerConfig, StealEnd, VictimPolicy};
+    use crate::spec::test_specs::RangeSum;
+    use crate::spec::{count_tasks, run_serial};
+
+    #[test]
+    fn single_worker_matches_serial() {
+        let root = RangeSum { lo: 1, hi: 10_000 };
+        let (v, stats) = SpecEngine::run(SchedulerConfig::paper(1), root.clone());
+        assert_eq!(v, run_serial(root.clone()));
+        assert_eq!(stats.tasks_executed, count_tasks(root));
+    }
+
+    #[test]
+    fn multi_worker_matches_serial() {
+        let root = RangeSum { lo: 1, hi: 100_000 };
+        let (v, _) = SpecEngine::run(SchedulerConfig::paper(4), root.clone());
+        assert_eq!(v, run_serial(root));
+    }
+
+    /// A spec tree that cannot complete without a steal: the owner pops the
+    /// waiter (LIFO) and spins until the setter — still on its deque — has
+    /// run, which only a thief can do. Completion proves a steal.
+    #[derive(Clone)]
+    struct BarrierSpec {
+        role: u8, // 0 = root, 1 = setter, 2 = waiter
+        flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl SpecTask for BarrierSpec {
+        type Output = u64;
+        fn step(self) -> crate::spec::SpecStep<Self> {
+            use std::sync::atomic::Ordering;
+            match self.role {
+                0 => crate::spec::SpecStep::Expand {
+                    children: vec![
+                        BarrierSpec {
+                            role: 1,
+                            flag: std::sync::Arc::clone(&self.flag),
+                        },
+                        BarrierSpec {
+                            role: 2,
+                            flag: std::sync::Arc::clone(&self.flag),
+                        },
+                    ],
+                    partial: 0,
+                },
+                1 => {
+                    self.flag.store(true, Ordering::Release);
+                    crate::spec::SpecStep::Leaf(2)
+                }
+                _ => {
+                    while !self.flag.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                    crate::spec::SpecStep::Leaf(1)
+                }
+            }
+        }
+        fn identity() -> u64 {
+            0
+        }
+        fn merge(a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn multi_worker_steals_deterministically() {
+        let root = BarrierSpec {
+            role: 0,
+            flag: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        };
+        let (v, stats) = SpecEngine::run(SchedulerConfig::paper(4), root);
+        assert_eq!(v, 3);
+        assert!(stats.tasks_stolen > 0, "completion proves a steal");
+    }
+
+    #[test]
+    fn task_count_independent_of_worker_count() {
+        let root = RangeSum { lo: 1, hi: 30_000 };
+        let (_, s1) = SpecEngine::run(SchedulerConfig::paper(1), root.clone());
+        let (_, s3) = SpecEngine::run(SchedulerConfig::paper(3), root);
+        assert_eq!(s1.tasks_executed, s3.tasks_executed);
+    }
+
+    #[test]
+    fn all_policy_combinations_agree() {
+        let root = RangeSum { lo: 1, hi: 20_000 };
+        let expect = run_serial(root.clone());
+        for exec_order in [ExecOrder::Lifo, ExecOrder::Fifo] {
+            for steal_end in [StealEnd::Tail, StealEnd::Head] {
+                for victim in [VictimPolicy::UniformRandom, VictimPolicy::RoundRobin] {
+                    let mut cfg = SchedulerConfig::paper(3);
+                    cfg.exec_order = exec_order;
+                    cfg.steal_end = steal_end;
+                    cfg.victim_policy = victim;
+                    let (v, _) = SpecEngine::run(cfg, root.clone());
+                    assert_eq!(v, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_resumes_a_frontier() {
+        // Split the root by hand, fold half serially into acc0, and hand
+        // the other half plus acc0 to run_many: the total must match.
+        let root = RangeSum { lo: 1, hi: 50_000 };
+        let expect = run_serial(root);
+        let (left, right) = (
+            RangeSum { lo: 1, hi: 25_000 },
+            RangeSum { lo: 25_001, hi: 50_000 },
+        );
+        let acc0 = run_serial(left);
+        let (v, _) = SpecEngine::run_many(SchedulerConfig::paper(3), vec![right], acc0);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn run_many_empty_frontier_returns_acc() {
+        let (v, stats) =
+            SpecEngine::run_many::<RangeSum>(SchedulerConfig::paper(2), vec![], 77);
+        assert_eq!(v, 77);
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn run_many_scatters_across_workers() {
+        let frontier: Vec<RangeSum> = (0..8)
+            .map(|i| RangeSum {
+                lo: i * 1000 + 1,
+                hi: (i + 1) * 1000,
+            })
+            .collect();
+        let (v, _) = SpecEngine::run_many(SchedulerConfig::paper(4), frontier, 0);
+        assert_eq!(v, (1..=8000).sum::<u64>());
+    }
+
+    #[test]
+    fn lifo_working_set_beats_fifo() {
+        let root = RangeSum { lo: 1, hi: 100_000 };
+        let mut lifo = SchedulerConfig::paper(1);
+        lifo.exec_order = ExecOrder::Lifo;
+        let (_, sl) = SpecEngine::run(lifo, root.clone());
+        let mut fifo = SchedulerConfig::paper(1);
+        fifo.exec_order = ExecOrder::Fifo;
+        let (_, sf) = SpecEngine::run(fifo, root);
+        assert!(
+            sl.max_tasks_in_use * 10 < sf.max_tasks_in_use,
+            "LIFO {} vs FIFO {}",
+            sl.max_tasks_in_use,
+            sf.max_tasks_in_use
+        );
+    }
+}

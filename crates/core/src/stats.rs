@@ -1,0 +1,260 @@
+//! Scheduling and communication statistics.
+//!
+//! Table 2 of the paper reports, for pfold executions with 4 and 8
+//! participants: tasks executed, max tasks in use, tasks stolen,
+//! synchronizations, non-local synchronizations, messages sent, and
+//! execution time. [`WorkerStats`] collects exactly those quantities (plus a
+//! few useful extras) per worker with plain counters — no atomics on the hot
+//! path — and [`JobStats`] merges them at job completion.
+
+use phish_net::Nanos;
+
+/// Per-worker counters, updated only by the owning worker thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed to completion.
+    pub tasks_executed: u64,
+    /// Tasks this worker spawned (pushed onto its ready list).
+    pub tasks_spawned: u64,
+    /// Tasks this worker obtained by stealing from a victim.
+    pub tasks_stolen: u64,
+    /// Steal attempts that came back empty-handed.
+    pub failed_steal_attempts: u64,
+    /// Argument posts to join cells (the paper's "synchronizations").
+    pub synchronizations: u64,
+    /// Posts whose target cell lived on a different worker, requiring a
+    /// message (the paper's "non-local synchs").
+    pub nonlocal_synchronizations: u64,
+    /// Messages this worker sent (posts to remote cells, steal requests and
+    /// replies under the message protocol, migration notices).
+    pub messages_sent: u64,
+    /// Current number of "tasks in use": ready tasks resident here plus
+    /// live join cells (allocated frames awaiting arguments) plus the task
+    /// being executed. The paper uses the high-water mark of this value as
+    /// the working-set measure.
+    pub tasks_in_use: u64,
+    /// High-water mark of [`WorkerStats::tasks_in_use`].
+    pub max_tasks_in_use: u64,
+    /// Wall-clock nanoseconds this worker participated (start → exit).
+    pub participation_ns: Nanos,
+    /// Nanoseconds spent executing tasks (as opposed to scheduling or
+    /// hunting for work).
+    pub busy_ns: Nanos,
+}
+
+impl WorkerStats {
+    /// Records an observation of the current tasks-in-use count, keeping
+    /// the high-water mark. The threaded engine samples at every local
+    /// scheduling operation; in-use can only *fall* between samples (steals
+    /// remove tasks), so maxima are never missed.
+    #[inline]
+    pub fn sample_in_use(&mut self, current: u64) {
+        self.tasks_in_use = current;
+        if current > self.max_tasks_in_use {
+            self.max_tasks_in_use = current;
+        }
+    }
+
+    /// Adjusts the in-use count by `delta` and maintains the high-water
+    /// mark. Panics in debug builds if the count would go negative.
+    #[inline]
+    pub fn adjust_in_use(&mut self, delta: i64) {
+        if delta >= 0 {
+            self.tasks_in_use += delta as u64;
+            if self.tasks_in_use > self.max_tasks_in_use {
+                self.max_tasks_in_use = self.tasks_in_use;
+            }
+        } else {
+            let dec = (-delta) as u64;
+            debug_assert!(
+                self.tasks_in_use >= dec,
+                "tasks_in_use underflow: {} - {}",
+                self.tasks_in_use,
+                dec
+            );
+            self.tasks_in_use = self.tasks_in_use.saturating_sub(dec);
+        }
+    }
+}
+
+/// Whole-job statistics: sums across workers, except the working-set
+/// measure, which (as in Table 2) is the *maximum over workers*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Per-worker snapshots, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+    /// Σ tasks executed.
+    pub tasks_executed: u64,
+    /// Σ tasks spawned.
+    pub tasks_spawned: u64,
+    /// Σ tasks stolen (Table 2: "Tasks stolen").
+    pub tasks_stolen: u64,
+    /// Σ failed steal attempts.
+    pub failed_steal_attempts: u64,
+    /// Σ synchronizations (Table 2: "Synchronizations").
+    pub synchronizations: u64,
+    /// Σ non-local synchronizations (Table 2: "Non-local synchs").
+    pub nonlocal_synchronizations: u64,
+    /// Σ messages sent by workers (Table 2: "Messages sent"); transports may
+    /// add their own accounting on top.
+    pub messages_sent: u64,
+    /// max over workers of max tasks in use (Table 2: "Max tasks in use").
+    pub max_tasks_in_use: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed_ns: Nanos,
+}
+
+impl JobStats {
+    /// Merges per-worker stats into job totals.
+    pub fn from_workers(per_worker: Vec<WorkerStats>, elapsed_ns: Nanos) -> Self {
+        let mut s = JobStats {
+            elapsed_ns,
+            ..Default::default()
+        };
+        for w in &per_worker {
+            s.tasks_executed += w.tasks_executed;
+            s.tasks_spawned += w.tasks_spawned;
+            s.tasks_stolen += w.tasks_stolen;
+            s.failed_steal_attempts += w.failed_steal_attempts;
+            s.synchronizations += w.synchronizations;
+            s.nonlocal_synchronizations += w.nonlocal_synchronizations;
+            s.messages_sent += w.messages_sent;
+            s.max_tasks_in_use = s.max_tasks_in_use.max(w.max_tasks_in_use);
+        }
+        s.per_worker = per_worker;
+        s
+    }
+
+    /// The average per-participant execution time, `Σ T_P(i) / P` — the
+    /// quantity plotted in Figure 4.
+    pub fn avg_participation_ns(&self) -> Nanos {
+        if self.per_worker.is_empty() {
+            return 0;
+        }
+        let total: u128 = self
+            .per_worker
+            .iter()
+            .map(|w| w.participation_ns as u128)
+            .sum();
+        (total / self.per_worker.len() as u128) as Nanos
+    }
+
+    /// The paper's P-processor speedup `S_P = P · T_1 / Σ T_P(i)` given the
+    /// one-participant execution time `t1_ns`.
+    pub fn speedup_vs(&self, t1_ns: Nanos) -> f64 {
+        let total: u128 = self
+            .per_worker
+            .iter()
+            .map(|w| w.participation_ns as u128)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let p = self.per_worker.len() as f64;
+        p * (t1_ns as f64) / (total as f64)
+    }
+}
+
+impl std::fmt::Display for JobStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Tasks executed    {:>14}", self.tasks_executed)?;
+        writeln!(f, "Max tasks in use  {:>14}", self.max_tasks_in_use)?;
+        writeln!(f, "Tasks stolen      {:>14}", self.tasks_stolen)?;
+        writeln!(f, "Synchronizations  {:>14}", self.synchronizations)?;
+        writeln!(f, "Non-local synchs  {:>14}", self.nonlocal_synchronizations)?;
+        writeln!(f, "Messages sent     {:>14}", self.messages_sent)?;
+        write!(
+            f,
+            "Execution time    {:>11.3} s",
+            self.elapsed_ns as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_use_tracks_high_water_mark() {
+        let mut w = WorkerStats::default();
+        w.adjust_in_use(3);
+        w.adjust_in_use(-1);
+        w.adjust_in_use(5);
+        assert_eq!(w.tasks_in_use, 7);
+        assert_eq!(w.max_tasks_in_use, 7);
+        w.adjust_in_use(-7);
+        assert_eq!(w.tasks_in_use, 0);
+        assert_eq!(w.max_tasks_in_use, 7);
+    }
+
+    #[test]
+    fn job_stats_sums_and_maxes() {
+        let a = WorkerStats {
+            tasks_executed: 10,
+            tasks_stolen: 1,
+            synchronizations: 9,
+            nonlocal_synchronizations: 2,
+            messages_sent: 4,
+            max_tasks_in_use: 5,
+            participation_ns: 100,
+            ..Default::default()
+        };
+        let b = WorkerStats {
+            tasks_executed: 20,
+            tasks_stolen: 0,
+            synchronizations: 19,
+            nonlocal_synchronizations: 1,
+            messages_sent: 2,
+            max_tasks_in_use: 8,
+            participation_ns: 300,
+            ..Default::default()
+        };
+        let j = JobStats::from_workers(vec![a, b], 500);
+        assert_eq!(j.tasks_executed, 30);
+        assert_eq!(j.tasks_stolen, 1);
+        assert_eq!(j.synchronizations, 28);
+        assert_eq!(j.nonlocal_synchronizations, 3);
+        assert_eq!(j.messages_sent, 6);
+        assert_eq!(j.max_tasks_in_use, 8, "max, not sum");
+        assert_eq!(j.elapsed_ns, 500);
+        assert_eq!(j.avg_participation_ns(), 200);
+    }
+
+    #[test]
+    fn speedup_formula_matches_paper() {
+        // P = 2 participants each running 100ns, T1 = 200ns:
+        // S_2 = 2 * 200 / (100 + 100) = 2.0 (perfect).
+        let w = WorkerStats {
+            participation_ns: 100,
+            ..Default::default()
+        };
+        let j = JobStats::from_workers(vec![w, w], 100);
+        assert!((j.speedup_vs(200) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_table2_rows() {
+        let j = JobStats::from_workers(vec![WorkerStats::default()], 1_500_000_000);
+        let s = format!("{j}");
+        for row in [
+            "Tasks executed",
+            "Max tasks in use",
+            "Tasks stolen",
+            "Synchronizations",
+            "Non-local synchs",
+            "Messages sent",
+            "Execution time",
+        ] {
+            assert!(s.contains(row), "missing row {row}");
+        }
+        assert!(s.contains("1.500 s"));
+    }
+
+    #[test]
+    fn empty_job_stats_are_zero() {
+        let j = JobStats::from_workers(vec![], 0);
+        assert_eq!(j.avg_participation_ns(), 0);
+        assert_eq!(j.speedup_vs(100), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The task and continuation model.
+//!
+//! Phish applications are written in continuation-passing style (the
+//! "continuation-passing threads" model of Halbherr, Zhou, and Joerg that
+//! the paper's applications use): a *task* is a run-to-completion closure
+//! that may spawn child tasks and must eventually *post* its result to a
+//! continuation. Synchronization requirements ("some tasks may need to wait
+//! for other tasks") are expressed with join cells: a cell collects one
+//! value per slot and, when the last slot is posted, its continuation
+//! becomes a ready task on the worker hosting the cell.
+
+use crate::cell::Cell;
+use crate::slab::SlabKey;
+use crate::worker::Worker;
+
+/// Dense worker index within one parallel job.
+pub type WorkerId = usize;
+
+/// The closure type all tasks run. Receives the executing [`Worker`] so it
+/// can spawn, allocate joins, and post results.
+pub type TaskFn<T> = Box<dyn FnOnce(&mut Worker<T>) + Send>;
+
+/// A schedulable unit of work.
+pub struct Task<T> {
+    /// The body.
+    pub run: TaskFn<T>,
+}
+
+impl<T> Task<T> {
+    /// Wraps a closure as a task.
+    pub fn new(f: impl FnOnce(&mut Worker<T>) + Send + 'static) -> Self {
+        Self { run: Box::new(f) }
+    }
+}
+
+impl<T> std::fmt::Debug for Task<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Task")
+    }
+}
+
+/// Names a join cell: the worker that allocated it ("original owner", which
+/// is also the mailbox messages are routed to) plus its generational slab
+/// key. If the owner retires, an adoptive worker takes over both the cells
+/// and the mailbox, so a `CellRef` stays valid for the life of the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    /// The worker that allocated the cell.
+    pub owner: WorkerId,
+    /// Slot within that worker's cell shard.
+    pub key: SlabKey,
+}
+
+/// Where a posted value goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cont {
+    target: Target,
+    slot: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// Slot `slot` of a join cell.
+    Cell(CellRef),
+    /// The job's final result (delivered to the engine / Clearinghouse).
+    Root,
+}
+
+impl Cont {
+    /// The job-result continuation. Posting here completes the job.
+    pub const ROOT: Cont = Cont {
+        target: Target::Root,
+        slot: 0,
+    };
+
+    /// A continuation feeding slot `slot` of `cell`.
+    pub fn slot(cell: CellRef, slot: u32) -> Self {
+        Self {
+            target: Target::Cell(cell),
+            slot,
+        }
+    }
+
+    /// The cell this continuation feeds, or `None` for the root.
+    pub fn cell(&self) -> Option<CellRef> {
+        match self.target {
+            Target::Cell(c) => Some(c),
+            Target::Root => None,
+        }
+    }
+
+    /// The slot index within the cell (0 for the root).
+    pub fn slot_index(&self) -> u32 {
+        self.slot
+    }
+
+    /// True if this is the job-result continuation.
+    pub fn is_root(&self) -> bool {
+        matches!(self.target, Target::Root)
+    }
+}
+
+/// Inter-worker messages. Every one of these corresponds to a network
+/// message in the real system and is counted in `messages_sent`.
+pub enum Msg<T> {
+    /// A non-local synchronization: `value` fills `slot` of `cell`.
+    Post {
+        /// Target cell (routed by `cell.owner`'s mailbox).
+        cell: CellRef,
+        /// Slot to fill.
+        slot: u32,
+        /// The value.
+        value: T,
+    },
+    /// A thief asks for work (message steal protocol).
+    StealRequest {
+        /// Who to reply to.
+        thief: WorkerId,
+    },
+    /// The victim's answer: a task, or `None` if its list was empty.
+    StealReply {
+        /// The stolen task, if any.
+        task: Option<Task<T>>,
+    },
+    /// A retiring worker hands everything it owns to an adoptive worker:
+    /// its live cells (per origin shard), its remaining ready tasks, and —
+    /// implicitly — responsibility for the origins' mailboxes.
+    AdoptShard {
+        /// The shard's original owner (whose mailbox the adoptee must now
+        /// poll).
+        origin: WorkerId,
+        /// Live cells, keyed as the origin allocated them.
+        cells: Vec<(SlabKey, Cell<T>)>,
+        /// Ready tasks drained from the retiring worker's list.
+        tasks: Vec<Task<T>>,
+    },
+}
+
+impl<T> std::fmt::Debug for Msg<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Msg::Post { cell, slot, .. } => f
+                .debug_struct("Post")
+                .field("cell", cell)
+                .field("slot", slot)
+                .finish(),
+            Msg::StealRequest { thief } => {
+                f.debug_struct("StealRequest").field("thief", thief).finish()
+            }
+            Msg::StealReply { task } => f
+                .debug_struct("StealReply")
+                .field("some", &task.is_some())
+                .finish(),
+            Msg::AdoptShard { origin, cells, tasks } => f
+                .debug_struct("AdoptShard")
+                .field("origin", origin)
+                .field("cells", &cells.len())
+                .field("tasks", &tasks.len())
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_cont_is_root() {
+        assert!(Cont::ROOT.is_root());
+        assert_eq!(Cont::ROOT.cell(), None);
+        assert_eq!(Cont::ROOT.slot_index(), 0);
+    }
+
+    #[test]
+    fn slot_cont_carries_cell_and_slot() {
+        let cell = CellRef {
+            owner: 3,
+            key: SlabKey { index: 7, gen: 1 },
+        };
+        let c = Cont::slot(cell, 2);
+        assert!(!c.is_root());
+        assert_eq!(c.cell(), Some(cell));
+        assert_eq!(c.slot_index(), 2);
+    }
+
+    #[test]
+    fn msg_debug_formats() {
+        let m: Msg<u64> = Msg::StealRequest { thief: 4 };
+        assert!(format!("{m:?}").contains("thief"));
+        let m: Msg<u64> = Msg::StealReply { task: None };
+        assert!(format!("{m:?}").contains("some: false"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Scheduling traces: a bounded per-worker event log.
+//!
+//! Understanding an idle-initiated schedule after the fact — who stole
+//! what from whom, where the non-local synchronizations happened, when a
+//! worker retired — needs an event record, not just the aggregate counters
+//! of [`crate::stats`]. Tracing is off by default and costs one branch per
+//! scheduling operation when disabled; when enabled each worker fills a
+//! bounded ring buffer that the engine merges into a time-ordered
+//! [`JobTrace`].
+
+use std::time::Instant;
+
+use crate::task::WorkerId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A task was spawned onto the local ready list.
+    Spawn,
+    /// A task began executing.
+    Exec,
+    /// A join cell was allocated.
+    CellAlloc,
+    /// A value was posted to a cell hosted locally.
+    PostLocal,
+    /// A value was posted to a remote cell (a message).
+    PostRemote {
+        /// The cell's owner (the mailbox the message went to).
+        to: WorkerId,
+    },
+    /// A steal succeeded.
+    StealSuccess {
+        /// Whose ready list lost a task.
+        victim: WorkerId,
+    },
+    /// A steal attempt found the victim empty.
+    StealFail {
+        /// The victim that had nothing.
+        victim: WorkerId,
+    },
+    /// Cells and tasks were adopted from a retiring worker.
+    Adopt {
+        /// The shard's original owner.
+        origin: WorkerId,
+    },
+    /// This worker retired from the computation.
+    Retire,
+    /// The job's final result was posted.
+    RootPost,
+}
+
+/// One timestamped scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the worker started.
+    pub t_ns: u64,
+    /// The worker that recorded the event.
+    pub worker: WorkerId,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded event recorder owned by one worker.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    worker: WorkerId,
+    start: Instant,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer for `worker` holding at most `capacity` events; events
+    /// past the cap are counted but dropped (keeping the *earliest* ones,
+    /// which carry the schedule's structure).
+    pub fn new(worker: WorkerId, capacity: usize) -> Self {
+        Self {
+            worker,
+            start: Instant::now(),
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    #[inline]
+    pub fn record(&mut self, kind: TraceEventKind) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            t_ns: self.start.elapsed().as_nanos() as u64,
+            worker: self.worker,
+            kind,
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<TraceEvent>, u64) {
+        (self.events, self.dropped)
+    }
+}
+
+/// The merged, time-ordered trace of a whole job.
+#[derive(Debug, Clone, Default)]
+pub struct JobTrace {
+    /// All events, sorted by timestamp (ties by worker id).
+    pub events: Vec<TraceEvent>,
+    /// Events dropped across all workers (buffers filled).
+    pub dropped: u64,
+}
+
+impl JobTrace {
+    /// Merges per-worker buffers. Timestamps are per-worker-relative but
+    /// workers start within microseconds of each other, so the merged
+    /// order is faithful at scheduling granularity.
+    pub fn merge(buffers: Vec<TraceBuffer>) -> Self {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for b in buffers {
+            let (evs, d) = b.into_parts();
+            events.extend(evs);
+            dropped += d;
+        }
+        events.sort_by_key(|e| (e.t_ns, e.worker));
+        Self { events, dropped }
+    }
+
+    /// Events of one kind (by discriminant pattern).
+    pub fn count_matching(&self, pred: impl Fn(&TraceEventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// The steal edges of the schedule: `(thief, victim)` pairs in time
+    /// order — the "migration graph" of the computation.
+    pub fn steal_edges(&self) -> Vec<(WorkerId, WorkerId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::StealSuccess { victim } => Some((e.worker, victim)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for JobTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.events {
+            writeln!(
+                f,
+                "{:>12} ns  w{:<3} {:?}",
+                e.t_ns, e.worker, e.kind
+            )?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} events dropped (buffers full)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut b = TraceBuffer::new(0, 100);
+        b.record(TraceEventKind::Spawn);
+        b.record(TraceEventKind::Exec);
+        b.record(TraceEventKind::RootPost);
+        assert_eq!(b.len(), 3);
+        let (evs, dropped) = b.into_parts();
+        assert_eq!(dropped, 0);
+        assert!(evs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(evs[0].kind, TraceEventKind::Spawn);
+        assert_eq!(evs[2].kind, TraceEventKind::RootPost);
+    }
+
+    #[test]
+    fn capacity_is_respected_keeping_earliest() {
+        let mut b = TraceBuffer::new(1, 2);
+        b.record(TraceEventKind::Spawn);
+        b.record(TraceEventKind::Exec);
+        b.record(TraceEventKind::Retire);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        let (evs, _) = b.into_parts();
+        assert_eq!(evs[0].kind, TraceEventKind::Spawn);
+        assert_eq!(evs[1].kind, TraceEventKind::Exec);
+    }
+
+    #[test]
+    fn merge_sorts_and_sums_drops() {
+        let mut a = TraceBuffer::new(0, 1);
+        a.record(TraceEventKind::Spawn);
+        a.record(TraceEventKind::Exec); // dropped
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut b = TraceBuffer::new(1, 10);
+        b.record(TraceEventKind::StealSuccess { victim: 0 });
+        let trace = JobTrace::merge(vec![b, a]);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.dropped, 1);
+        assert!(trace.events[0].t_ns <= trace.events[1].t_ns);
+        assert_eq!(trace.steal_edges(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut b = TraceBuffer::new(0, 10);
+        b.record(TraceEventKind::Spawn);
+        b.record(TraceEventKind::Spawn);
+        b.record(TraceEventKind::Exec);
+        let t = JobTrace::merge(vec![b]);
+        assert_eq!(
+            t.count_matching(|k| matches!(k, TraceEventKind::Spawn)),
+            2
+        );
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let mut b = TraceBuffer::new(2, 1);
+        b.record(TraceEventKind::PostRemote { to: 0 });
+        b.record(TraceEventKind::Exec); // dropped
+        let t = JobTrace::merge(vec![b]);
+        let s = format!("{t}");
+        assert!(s.contains("w2"));
+        assert!(s.contains("PostRemote"));
+        assert!(s.contains("dropped"));
+    }
+}

@@ -1,0 +1,553 @@
+//! The participating worker process.
+//!
+//! A `Worker` is one participant in a parallel job — in the real system, a
+//! process running on an idle workstation. Its life (per §2 of the paper):
+//!
+//! 1. Process incoming messages (non-local synchronizations, steal traffic,
+//!    migrated work).
+//! 2. If the local ready list is non-empty, execute tasks from it in LIFO
+//!    order.
+//! 3. Otherwise become a *thief*: pick a victim uniformly at random and try
+//!    to steal the task at the tail of its ready list (FIFO).
+//! 4. "If no task can be found even after many attempted steals, the amount
+//!    of parallelism in the job must have decreased" — the worker retires,
+//!    migrating its data to another participant, and its workstation goes
+//!    back to the macro-level scheduler.
+//!
+//! All per-worker state (join-cell shards, statistics, RNG) is thread-local
+//! to the worker; cross-worker effects travel through the shared ready
+//! deques and the per-worker mailboxes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use phish_net::SendCost;
+
+use crate::cell::{Cell, JoinFn};
+use crate::config::{RetirePolicy, SchedulerConfig, StealProtocol, VictimPolicy};
+use crate::deque::ReadyDeque;
+use crate::slab::Slab;
+use crate::stats::WorkerStats;
+use crate::task::{CellRef, Cont, Msg, Task, WorkerId};
+use crate::trace::{TraceBuffer, TraceEventKind};
+
+/// State shared by all workers of one job (the job's "address space" plus
+/// the network between participants).
+pub(crate) struct Shared<T> {
+    pub cfg: SchedulerConfig,
+    /// One ready list per worker, shared so thieves can reach them under
+    /// the shared-memory steal protocol.
+    pub deques: Vec<ReadyDeque<Task<T>>>,
+    /// One mailbox per *original* worker id. Messages are routed by cell
+    /// ownership; adoption transfers polling responsibility, never the
+    /// mailbox itself, so in-flight messages are never lost.
+    pub mailboxes: Vec<SegQueue<Msg<T>>>,
+    /// Set when the root continuation is posted.
+    pub done: AtomicBool,
+    /// The job's result.
+    pub result: Mutex<Option<T>>,
+    /// Which workers are still participating.
+    pub active: Vec<AtomicBool>,
+    /// Count of active workers (retirement keeps this ≥ 1).
+    pub active_count: AtomicUsize,
+    /// Simulated per-message software overhead.
+    pub send_cost: SendCost,
+}
+
+impl<T> Shared<T> {
+    pub(crate) fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            cfg,
+            deques: (0..cfg.workers).map(|_| ReadyDeque::new()).collect(),
+            mailboxes: (0..cfg.workers).map(|_| SegQueue::new()).collect(),
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            active: (0..cfg.workers).map(|_| AtomicBool::new(true)).collect(),
+            active_count: AtomicUsize::new(cfg.workers),
+            send_cost: SendCost::with_overhead(cfg.send_overhead),
+        }
+    }
+}
+
+/// One participant of a running job. Task closures receive `&mut Worker<T>`
+/// and use [`spawn`](Worker::spawn), [`join`](Worker::join) /
+/// [`join2`](Worker::join2), and [`post`](Worker::post) to express the
+/// computation.
+pub struct Worker<T> {
+    id: WorkerId,
+    shared: Arc<Shared<T>>,
+    /// Join-cell shards this worker hosts, keyed by original owner.
+    /// Initially just its own; grows by adoption.
+    shards: HashMap<WorkerId, Slab<Cell<T>>>,
+    /// Mailboxes this worker polls (own id plus adopted origins).
+    polled_mailboxes: Vec<WorkerId>,
+    stats: WorkerStats,
+    rng: SmallRng,
+    rr_cursor: usize,
+    /// Reply slot for the message steal protocol.
+    steal_reply: Option<Option<Task<T>>>,
+    /// True while inside a task body (for working-set accounting).
+    in_task: bool,
+    retired: bool,
+    /// Scheduling-event recorder, when enabled by the configuration.
+    trace: Option<TraceBuffer>,
+}
+
+impl<T: Send + 'static> Worker<T> {
+    pub(crate) fn new(id: WorkerId, shared: Arc<Shared<T>>) -> Self {
+        let seed = shared.cfg.seed ^ ((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let shared_trace_capacity = shared.cfg.trace_capacity;
+        let mut shards = HashMap::new();
+        shards.insert(id, Slab::new());
+        Self {
+            id,
+            shared,
+            shards,
+            polled_mailboxes: vec![id],
+            stats: WorkerStats::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            rr_cursor: id,
+            steal_reply: None,
+            in_task: false,
+            retired: false,
+            trace: if shared_trace_capacity > 0 {
+                Some(TraceBuffer::new(id, shared_trace_capacity))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// This worker's id within the job.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Number of workers configured for the job.
+    pub fn worker_count(&self) -> usize {
+        self.shared.cfg.workers
+    }
+
+    /// The job's scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.shared.cfg
+    }
+
+    /// This worker's statistics so far.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn record(&mut self, kind: TraceEventKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(kind);
+        }
+    }
+
+    /// Takes the worker's trace buffer (engine side, after the run).
+    pub(crate) fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Programming model: spawn / join / post
+    // ------------------------------------------------------------------
+
+    /// Spawns a child task: it becomes ready immediately and goes to the
+    /// head of this worker's ready list.
+    pub fn spawn(&mut self, f: impl FnOnce(&mut Worker<T>) + Send + 'static) {
+        self.stats.tasks_spawned += 1;
+        self.record(TraceEventKind::Spawn);
+        self.push_local(Task::new(f));
+    }
+
+    /// Allocates a join cell with `nslots` argument slots. When all slots
+    /// have been posted, `cont` runs (on whichever worker hosts the cell)
+    /// with the values in slot order.
+    ///
+    /// Returns the cell reference; feed it to [`Cont::slot`] to build the
+    /// continuations handed to child tasks.
+    pub fn join(
+        &mut self,
+        nslots: usize,
+        cont: impl FnOnce(Vec<T>, &mut Worker<T>) + Send + 'static,
+    ) -> CellRef {
+        let cont: JoinFn<T> = Box::new(cont);
+        let shard = self
+            .shards
+            .get_mut(&self.id)
+            .expect("worker always hosts its own shard");
+        let key = shard.insert(Cell::new(nslots, cont));
+        self.record(TraceEventKind::CellAlloc);
+        self.sample_in_use();
+        CellRef {
+            owner: self.id,
+            key,
+        }
+    }
+
+    /// Two-argument join, the common case (e.g. `fib(n-1) + fib(n-2)`):
+    /// returns the pair of continuations directly.
+    pub fn join2(
+        &mut self,
+        cont: impl FnOnce(T, T, &mut Worker<T>) + Send + 'static,
+    ) -> (Cont, Cont) {
+        let cell = self.join(2, move |mut vals, w| {
+            let b = vals.pop().expect("two values");
+            let a = vals.pop().expect("two values");
+            cont(a, b, w);
+        });
+        (Cont::slot(cell, 0), Cont::slot(cell, 1))
+    }
+
+    /// Posts `value` to a continuation — the paper's "synchronization".
+    ///
+    /// A post to a cell hosted here is applied directly (local synch); a
+    /// post to a cell hosted elsewhere sends a message (non-local synch).
+    /// Posting to [`Cont::ROOT`] delivers the job's final result and
+    /// terminates the job.
+    pub fn post(&mut self, cont: Cont, value: T) {
+        self.stats.synchronizations += 1;
+        match cont.cell() {
+            None => {
+                self.record(TraceEventKind::RootPost);
+                let mut slot = self.shared.result.lock();
+                assert!(
+                    slot.is_none(),
+                    "application bug: Cont::ROOT posted twice (every job must \
+                     deliver exactly one final result)"
+                );
+                *slot = Some(value);
+                drop(slot);
+                self.shared.done.store(true, Ordering::Release);
+            }
+            Some(cell) => {
+                if self.shards.contains_key(&cell.owner) {
+                    self.record(TraceEventKind::PostLocal);
+                    self.apply_post(cell, cont.slot_index(), value);
+                } else {
+                    self.stats.nonlocal_synchronizations += 1;
+                    self.record(TraceEventKind::PostRemote { to: cell.owner });
+                    self.send_msg(
+                        cell.owner,
+                        Msg::Post {
+                            cell,
+                            slot: cont.slot_index(),
+                            value,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Processes pending incoming messages. Long-running tasks under the
+    /// message steal protocol should call this periodically so steal
+    /// requests get answered with workstation-LAN latencies rather than
+    /// task-granularity latencies.
+    pub fn poll(&mut self) {
+        self.drain_mailboxes();
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling internals
+    // ------------------------------------------------------------------
+
+    fn push_local(&mut self, t: Task<T>) {
+        let len = self.shared.deques[self.id].push(t);
+        self.sample_in_use_with_deque(len);
+    }
+
+    fn sample_in_use(&mut self) {
+        let len = self.shared.deques[self.id].len();
+        self.sample_in_use_with_deque(len);
+    }
+
+    fn sample_in_use_with_deque(&mut self, deque_len: usize) {
+        let live_cells: usize = self.shards.values().map(Slab::len).sum();
+        let executing = usize::from(self.in_task);
+        self.stats
+            .sample_in_use((live_cells + deque_len + executing) as u64);
+    }
+
+    fn send_msg(&mut self, origin_mailbox: WorkerId, msg: Msg<T>) {
+        self.stats.messages_sent += 1;
+        self.shared.send_cost.pay();
+        self.shared.mailboxes[origin_mailbox].push(msg);
+    }
+
+    /// Applies a post to a cell hosted by this worker.
+    fn apply_post(&mut self, cell: CellRef, slot: u32, value: T) {
+        let shard = self
+            .shards
+            .get_mut(&cell.owner)
+            .expect("apply_post on non-hosted shard");
+        let live = shard
+            .get_mut(cell.key)
+            .expect("post to dead or unknown cell");
+        if let Some(ready) = live.post(slot, value) {
+            shard.remove(cell.key);
+            // The fired continuation becomes a ready task right here — the
+            // worker hosting the cell, exactly as in the paper.
+            self.push_local(ready);
+        }
+    }
+
+    fn drain_mailboxes(&mut self) -> bool {
+        let shared = Arc::clone(&self.shared);
+        let mut did_work = false;
+        let mut i = 0;
+        // Indexed loop: handling AdoptShard can grow `polled_mailboxes`.
+        while i < self.polled_mailboxes.len() {
+            let origin = self.polled_mailboxes[i];
+            while let Some(msg) = shared.mailboxes[origin].pop() {
+                did_work = true;
+                self.handle_msg(msg);
+            }
+            i += 1;
+        }
+        did_work
+    }
+
+    fn handle_msg(&mut self, msg: Msg<T>) {
+        match msg {
+            Msg::Post { cell, slot, value } => {
+                self.apply_post(cell, slot, value);
+            }
+            Msg::StealRequest { thief } => {
+                // Victim side: give away the task at the configured steal
+                // end of MY ready list (tail = FIFO order, the default).
+                let task = self.shared.deques[self.id].steal(self.shared.cfg.steal_end);
+                self.send_msg(thief, Msg::StealReply { task });
+            }
+            Msg::StealReply { task } => {
+                self.steal_reply = Some(task);
+            }
+            Msg::AdoptShard {
+                origin,
+                cells,
+                tasks,
+            } => {
+                self.record(TraceEventKind::Adopt { origin });
+                let slab = Slab::from_entries(cells);
+                let prev = self.shards.insert(origin, slab);
+                assert!(prev.is_none(), "adopted an already-hosted shard");
+                if !self.polled_mailboxes.contains(&origin) {
+                    self.polled_mailboxes.push(origin);
+                }
+                for t in tasks {
+                    self.push_local(t);
+                }
+                self.sample_in_use();
+            }
+        }
+    }
+
+    fn pick_victim(&mut self) -> Option<WorkerId> {
+        let n = self.shared.cfg.workers;
+        let candidates: Vec<WorkerId> = (0..n)
+            .filter(|&w| w != self.id && self.shared.active[w].load(Ordering::Acquire))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.shared.cfg.victim_policy {
+            VictimPolicy::UniformRandom => {
+                Some(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+            VictimPolicy::RoundRobin => {
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(candidates[self.rr_cursor % candidates.len()])
+            }
+        }
+    }
+
+    /// One steal attempt. Returns `true` if a task was obtained.
+    fn steal_once(&mut self) -> bool {
+        match self.shared.cfg.steal_protocol {
+            StealProtocol::SharedMemory => self.steal_once_shared(),
+            StealProtocol::Message => self.steal_once_message(),
+        }
+    }
+
+    fn steal_once_shared(&mut self) -> bool {
+        let Some(victim) = self.pick_victim() else {
+            return false;
+        };
+        match self.shared.deques[victim].steal(self.shared.cfg.steal_end) {
+            Some(task) => {
+                self.stats.tasks_stolen += 1;
+                self.record(TraceEventKind::StealSuccess { victim });
+                self.push_local(task);
+                true
+            }
+            None => {
+                self.stats.failed_steal_attempts += 1;
+                self.record(TraceEventKind::StealFail { victim });
+                false
+            }
+        }
+    }
+
+    fn steal_once_message(&mut self) -> bool {
+        let Some(victim) = self.pick_victim() else {
+            return false;
+        };
+        debug_assert!(self.steal_reply.is_none());
+        self.send_msg(victim, Msg::StealRequest { thief: self.id });
+        // Split-phase wait: keep serving our own mailboxes (including steal
+        // requests from others) until the reply lands.
+        loop {
+            if self.shared.done.load(Ordering::Acquire) {
+                // Job finished while we waited; the reply no longer matters.
+                self.steal_reply = None;
+                return false;
+            }
+            self.drain_mailboxes();
+            if let Some(reply) = self.steal_reply.take() {
+                return match reply {
+                    Some(task) => {
+                        self.stats.tasks_stolen += 1;
+                        self.record(TraceEventKind::StealSuccess { victim });
+                        self.push_local(task);
+                        true
+                    }
+                    None => {
+                        self.stats.failed_steal_attempts += 1;
+                        self.record(TraceEventKind::StealFail { victim });
+                        false
+                    }
+                };
+            }
+            // While waiting for a reply we might have been handed ready
+            // work (a fired continuation): run it rather than idle.
+            if let Some((task, len)) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order) {
+                self.sample_in_use_with_deque(len);
+                self.execute(task);
+            } else {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn execute(&mut self, task: Task<T>) {
+        self.in_task = true;
+        self.stats.tasks_executed += 1;
+        self.record(TraceEventKind::Exec);
+        if self.shared.cfg.track_busy {
+            let t0 = Instant::now();
+            (task.run)(self);
+            self.stats.busy_ns += t0.elapsed().as_nanos() as u64;
+        } else {
+            (task.run)(self);
+        }
+        self.in_task = false;
+    }
+
+    /// Attempts to leave the computation, migrating all hosted state to an
+    /// adoptive participant. Fails (returns `false`) when this worker is
+    /// the last active participant — someone has to finish the job.
+    fn try_retire(&mut self) -> bool {
+        // Reserve the right to leave: never drop active_count to zero.
+        loop {
+            let n = self.shared.active_count.load(Ordering::Acquire);
+            if n <= 1 {
+                return false;
+            }
+            if self
+                .shared
+                .active_count
+                .compare_exchange(n, n - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.shared.active[self.id].store(false, Ordering::Release);
+        // Final drain: anything that reaches our mailboxes after this is
+        // picked up by the adoptee, which inherits polling duty.
+        self.drain_mailboxes();
+        let adoptee = self
+            .pick_victim()
+            .expect("an active participant exists: count was > 1");
+        let mut tasks = self.shared.deques[self.id].drain_all();
+        let origins: Vec<WorkerId> = self.shards.keys().copied().collect();
+        for origin in origins {
+            let cells = self
+                .shards
+                .get_mut(&origin)
+                .expect("origin from keys")
+                .drain_all();
+            let msg = Msg::AdoptShard {
+                origin,
+                cells,
+                tasks: std::mem::take(&mut tasks),
+            };
+            self.send_msg(adoptee, msg);
+        }
+        self.shards.clear();
+        self.polled_mailboxes.clear();
+        self.record(TraceEventKind::Retire);
+        self.retired = true;
+        true
+    }
+
+    /// True once this worker has retired from the computation.
+    pub fn retired(&self) -> bool {
+        self.retired
+    }
+
+    /// The scheduling loop: run until the job completes or this worker
+    /// retires. Returns the worker's final statistics.
+    pub(crate) fn run_loop(&mut self) -> WorkerStats {
+        let start = Instant::now();
+        let mut consecutive_failed: u64 = 0;
+        let attempts_per_round = (self.shared.cfg.workers.saturating_sub(1)).max(1) as u64;
+        while !self.shared.done.load(Ordering::Acquire) {
+            self.drain_mailboxes();
+            if self.shared.done.load(Ordering::Acquire) {
+                break;
+            }
+            if let Some((task, len)) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order) {
+                consecutive_failed = 0;
+                self.sample_in_use_with_deque(len);
+                self.execute(task);
+                continue;
+            }
+            if self.steal_once() {
+                consecutive_failed = 0;
+                continue;
+            }
+            consecutive_failed += 1;
+            if let RetirePolicy::AfterFailedRounds(rounds) = self.shared.cfg.retire {
+                if consecutive_failed >= u64::from(rounds) * attempts_per_round && self.try_retire()
+                {
+                    break;
+                }
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        self.stats.participation_ns = start.elapsed().as_nanos() as u64;
+        self.stats
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("id", &self.id)
+            .field("retired", &self.retired)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}

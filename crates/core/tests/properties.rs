@@ -1,0 +1,219 @@
+//! Property-based tests of phish-core's data structures and invariants.
+
+use proptest::prelude::*;
+
+use phish_core::codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
+use phish_core::{Cell, Cont, Engine, ExecOrder, ReadyDeque, SchedulerConfig, Slab, StealEnd, Worker};
+
+// ---------------------------------------------------------------------
+// Deque: any interleaving of owner ops and steals is a permutation — no
+// element is lost or duplicated, and the order disciplines hold.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DequeOp {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn deque_ops() -> impl Strategy<Value = Vec<DequeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => any::<u32>().prop_map(DequeOp::Push),
+            2 => Just(DequeOp::Pop),
+            1 => Just(DequeOp::Steal),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn deque_is_a_permutation(ops in deque_ops()) {
+        let d = ReadyDeque::new();
+        let mut pushed = Vec::new();
+        let mut removed = Vec::new();
+        for op in ops {
+            match op {
+                DequeOp::Push(v) => {
+                    d.push(v);
+                    pushed.push(v);
+                }
+                DequeOp::Pop => {
+                    if let Some((v, _)) = d.pop(ExecOrder::Lifo) {
+                        removed.push(v);
+                    }
+                }
+                DequeOp::Steal => {
+                    if let Some(v) = d.steal(StealEnd::Tail) {
+                        removed.push(v);
+                    }
+                }
+            }
+        }
+        removed.extend(d.drain_all());
+        pushed.sort_unstable();
+        removed.sort_unstable();
+        prop_assert_eq!(pushed, removed, "elements lost or duplicated");
+    }
+
+    #[test]
+    fn lifo_pop_always_returns_most_recent_push(values in prop::collection::vec(any::<u32>(), 1..50)) {
+        let d = ReadyDeque::new();
+        for &v in &values {
+            d.push(v);
+        }
+        // Popping LIFO returns the reverse of push order.
+        let mut popped = Vec::new();
+        while let Some((v, _)) = d.pop(ExecOrder::Lifo) {
+            popped.push(v);
+        }
+        let mut expect = values.clone();
+        expect.reverse();
+        prop_assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn tail_steals_return_oldest_first(values in prop::collection::vec(any::<u32>(), 1..50)) {
+        let d = ReadyDeque::new();
+        for &v in &values {
+            d.push(v);
+        }
+        let mut stolen = Vec::new();
+        while let Some(v) = d.steal(StealEnd::Tail) {
+            stolen.push(v);
+        }
+        prop_assert_eq!(stolen, values, "FIFO steal order violated");
+    }
+
+    // -----------------------------------------------------------------
+    // Slab: after any sequence of inserts and removes, live keys resolve
+    // to their values, dead keys miss, and len is consistent.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn slab_respects_liveness(ops in prop::collection::vec(any::<bool>(), 1..300), seed in any::<u64>()) {
+        let mut slab = Slab::new();
+        let mut live: Vec<(phish_core::SlabKey, u64)> = Vec::new();
+        let mut dead: Vec<phish_core::SlabKey> = Vec::new();
+        let mut next_value = seed;
+        for insert in ops {
+            if insert || live.is_empty() {
+                next_value = next_value.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = slab.insert(next_value);
+                live.push((key, next_value));
+            } else {
+                let idx = (next_value as usize) % live.len();
+                let (key, value) = live.swap_remove(idx);
+                prop_assert_eq!(slab.remove(key), Some(value));
+                dead.push(key);
+            }
+        }
+        prop_assert_eq!(slab.len(), live.len());
+        for (key, value) in &live {
+            prop_assert_eq!(slab.get(*key), Some(value));
+        }
+        for key in &dead {
+            prop_assert!(slab.get(*key).is_none(), "stale key resolved");
+        }
+    }
+
+    #[test]
+    fn slab_migration_preserves_everything(n in 1usize..100, remove_mod in 2usize..5) {
+        let mut src = Slab::new();
+        let keys: Vec<_> = (0..n as u64).map(|i| src.insert(i)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            if i % remove_mod == 0 {
+                src.remove(*k);
+            }
+        }
+        let expected_len = src.len();
+        let dst = Slab::from_entries(src.drain_all());
+        prop_assert_eq!(dst.len(), expected_len);
+        for (i, k) in keys.iter().enumerate() {
+            if i % remove_mod == 0 {
+                prop_assert!(dst.get(*k).is_none());
+            } else {
+                prop_assert_eq!(dst.get(*k), Some(&(i as u64)));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Codec: arbitrary nested values roundtrip through words and bytes.
+    // -----------------------------------------------------------------
+
+    // -----------------------------------------------------------------
+    // Join cells: for any post order, the cell fires exactly on the last
+    // post; and through the engine, values always arrive in slot order.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn cell_fires_exactly_on_last_post(order in prop::collection::vec(0usize..8, 1..8)) {
+        // Build a permutation of 0..n from the raw vec.
+        let n = order.len();
+        let mut slots: Vec<usize> = (0..n).collect();
+        for (i, r) in order.iter().enumerate() {
+            slots.swap(i, r % n);
+        }
+        let mut cell: Cell<u64> = Cell::new(n, Box::new(|_, _| {}));
+        for (k, slot) in slots.iter().enumerate() {
+            let fired = cell.post(*slot as u32, *slot as u64);
+            if k + 1 < n {
+                prop_assert!(fired.is_none(), "fired early at post {k}");
+            } else {
+                prop_assert!(fired.is_some(), "failed to fire on last post");
+            }
+        }
+    }
+
+    #[test]
+    fn join_values_arrive_in_slot_order_for_any_spawn_order(
+        perm_seed in any::<u64>(),
+        n in 2usize..10,
+    ) {
+        // Spawn children in a scrambled order; the continuation must still
+        // see values by slot index.
+        let mut slots: Vec<u64> = (0..n as u64).collect();
+        let mut state = perm_seed;
+        for i in (1..slots.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            slots.swap(i, (state as usize) % (i + 1));
+        }
+        let expected: u64 = (0..n as u64).fold(0, |acc, v| acc * 10 + v);
+        let (v, _) = Engine::run_fn(SchedulerConfig::paper(2), move |w: &mut Worker<u64>| {
+            let cell = w.join(n, move |vals, w| {
+                let packed = vals.iter().fold(0, |acc, v| acc * 10 + v);
+                w.post(Cont::ROOT, packed);
+            });
+            for s in slots {
+                let cont = Cont::slot(cell, s as u32);
+                w.spawn(move |w| w.post(cont, s));
+            }
+        });
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn codec_roundtrips_nested(v in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..10), 0..10)) {
+        let mut words = Vec::new();
+        v.encode(&mut words);
+        let mut r = WordReader::new(&words);
+        prop_assert_eq!(Vec::<Vec<u64>>::decode(&mut r), Some(v.clone()));
+        prop_assert!(r.is_exhausted());
+        // And through the byte layer.
+        let bytes = words_to_bytes(&words);
+        let back = bytes_to_words(&bytes).expect("length multiple of 8");
+        prop_assert_eq!(back, words);
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(words in prop::collection::vec(any::<u64>(), 0..64)) {
+        // Decoding arbitrary words must return, never panic or hang.
+        let mut r = WordReader::new(&words);
+        let _ = Vec::<Vec<u64>>::decode(&mut r);
+        let mut r = WordReader::new(&words);
+        let _ = <(u64, Vec<u32>)>::decode(&mut r);
+    }
+}

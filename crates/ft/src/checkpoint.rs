@@ -1,0 +1,352 @@
+//! Checkpointing: pause a computation, persist it, resume it — possibly in
+//! another process, on another day, or on a different number of workers.
+//!
+//! §6 lists "support for checkpointing" among Phish's planned extensions;
+//! this module implements it for spec-task jobs. The key observation is
+//! that a work-stealing computation's entire restartable state is tiny: the
+//! *frontier* (the ready specs not yet stepped) plus the accumulated
+//! partial result. Both serialize through [`WordCodec`] with no external
+//! dependencies, and a resumed frontier can be fed straight into
+//! [`SpecEngine::run_many`] at any worker count.
+//!
+//! The on-disk format is a little-endian `u64` stream:
+//! `[MAGIC, VERSION, steps_done, frontier (Vec<S>), acc (S::Output)]`.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use phish_core::codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
+use phish_core::{JobStats, SchedulerConfig, SpecEngine, SpecStep, SpecTask};
+
+/// File magic: "PHISHCKP" as a word.
+pub const MAGIC: u64 = 0x5048_4953_4843_4B50;
+
+/// Format version.
+pub const VERSION: u64 = 1;
+
+/// A paused spec computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<S: SpecTask> {
+    /// Ready specs not yet stepped.
+    pub frontier: Vec<S>,
+    /// Result mass accumulated so far.
+    pub acc: S::Output,
+    /// Tasks executed before the pause (bookkeeping/progress reporting).
+    pub steps_done: u64,
+}
+
+impl<S: SpecTask> Checkpoint<S> {
+    /// The starting checkpoint: just the root, nothing accumulated.
+    pub fn fresh(root: S) -> Self {
+        Self {
+            frontier: vec![root],
+            acc: S::identity(),
+            steps_done: 0,
+        }
+    }
+
+    /// True when nothing remains to execute.
+    pub fn is_complete(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+impl<S> Checkpoint<S>
+where
+    S: SpecTask + WordCodec,
+    S::Output: WordCodec,
+{
+    /// Serializes to the word format.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = vec![MAGIC, VERSION, self.steps_done];
+        self.frontier.encode(&mut words);
+        self.acc.encode(&mut words);
+        words
+    }
+
+    /// Deserializes; `None` on bad magic/version/payload.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        let mut r = WordReader::new(words);
+        if r.word()? != MAGIC || r.word()? != VERSION {
+            return None;
+        }
+        let steps_done = r.word()?;
+        let frontier = Vec::<S>::decode(&mut r)?;
+        let acc = <S::Output>::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return None; // trailing garbage
+        }
+        Some(Self {
+            frontier,
+            acc,
+            steps_done,
+        })
+    }
+
+    /// Writes the checkpoint to a file (atomically: temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("ckp.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&words_to_bytes(&self.to_words()))?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a checkpoint from a file; `Ok(None)` if the contents are not
+    /// a valid checkpoint.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Option<Self>> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes_to_words(&bytes).and_then(|w| Self::from_words(&w)))
+    }
+}
+
+/// Outcome of a budgeted run slice.
+pub enum SliceOutcome<S: SpecTask> {
+    /// The computation finished with this result.
+    Done(S::Output),
+    /// The budget ran out; here is the resumable state.
+    Paused(Checkpoint<S>),
+}
+
+/// Executes at most `budget` task steps serially (depth-first), starting
+/// from `start`. The serial slicer is what a single workstation runs
+/// between checkpoint writes.
+pub fn run_slice<S: SpecTask>(start: Checkpoint<S>, budget: u64) -> SliceOutcome<S> {
+    let mut stack = start.frontier;
+    let mut acc = start.acc;
+    let mut steps = 0;
+    while let Some(spec) = stack.pop() {
+        match spec.step() {
+            SpecStep::Leaf(out) => acc = S::merge(acc, out),
+            SpecStep::Expand { children, partial } => {
+                acc = S::merge(acc, partial);
+                stack.extend(children);
+            }
+        }
+        steps += 1;
+        if steps >= budget && !stack.is_empty() {
+            return SliceOutcome::Paused(Checkpoint {
+                frontier: stack,
+                acc,
+                steps_done: start.steps_done + steps,
+            });
+        }
+    }
+    SliceOutcome::Done(acc)
+}
+
+/// Resumes a checkpoint on the parallel spec engine at any worker count.
+pub fn resume_parallel<S: SpecTask>(
+    cfg: SchedulerConfig,
+    ckp: Checkpoint<S>,
+) -> (S::Output, JobStats) {
+    SpecEngine::run_many(cfg, ckp.frontier, ckp.acc)
+}
+
+/// Runs a job in checkpointed slices, invoking `persist` after every slice
+/// — the long-unattended-run workflow of §3/§6. Returns the final result
+/// and the number of slices executed.
+pub fn run_checkpointed<S: SpecTask>(
+    root: S,
+    slice_budget: u64,
+    mut persist: impl FnMut(&Checkpoint<S>),
+) -> (S::Output, u64) {
+    assert!(slice_budget > 0);
+    let mut state = Checkpoint::fresh(root);
+    let mut slices = 0;
+    loop {
+        slices += 1;
+        match run_slice(state, slice_budget) {
+            SliceOutcome::Done(out) => return (out, slices),
+            SliceOutcome::Paused(ckp) => {
+                persist(&ckp);
+                state = ckp;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phish_core::run_serial;
+
+    /// Range-sum spec with a codec, local to the tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Sum {
+        lo: u64,
+        hi: u64,
+    }
+
+    impl SpecTask for Sum {
+        type Output = u64;
+        fn step(self) -> SpecStep<Self> {
+            if self.hi - self.lo <= 4 {
+                SpecStep::Leaf((self.lo..=self.hi).sum())
+            } else {
+                let mid = (self.lo + self.hi) / 2;
+                SpecStep::Expand {
+                    children: vec![
+                        Sum { lo: self.lo, hi: mid },
+                        Sum { lo: mid + 1, hi: self.hi },
+                    ],
+                    partial: 0,
+                }
+            }
+        }
+        fn identity() -> u64 {
+            0
+        }
+        fn merge(a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    impl WordCodec for Sum {
+        fn encode(&self, out: &mut Vec<u64>) {
+            out.push(self.lo);
+            out.push(self.hi);
+        }
+        fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+            let lo = r.word()?;
+            let hi = r.word()?;
+            (lo <= hi).then_some(Sum { lo, hi })
+        }
+    }
+
+    const N: u64 = 100_000;
+    const EXPECT: u64 = N * (N + 1) / 2;
+
+    fn root() -> Sum {
+        Sum { lo: 1, hi: N }
+    }
+
+    #[test]
+    fn slice_with_huge_budget_finishes() {
+        match run_slice(Checkpoint::fresh(root()), u64::MAX) {
+            SliceOutcome::Done(v) => assert_eq!(v, EXPECT),
+            SliceOutcome::Paused(_) => panic!("unbounded budget must finish"),
+        }
+    }
+
+    #[test]
+    fn pause_resume_is_exact_for_any_budget() {
+        for budget in [1u64, 7, 100, 12345] {
+            let mut state = Checkpoint::fresh(root());
+            let result = loop {
+                match run_slice(state, budget) {
+                    SliceOutcome::Done(v) => break v,
+                    SliceOutcome::Paused(ckp) => state = ckp,
+                }
+            };
+            assert_eq!(result, EXPECT, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(root()), 500) else {
+            panic!("should pause");
+        };
+        let words = ckp.to_words();
+        let back = Checkpoint::<Sum>::from_words(&words).expect("roundtrip");
+        assert_eq!(back, ckp);
+    }
+
+    #[test]
+    fn corrupt_words_rejected() {
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(root()), 500) else {
+            panic!("should pause");
+        };
+        let mut words = ckp.to_words();
+        words[0] ^= 1; // bad magic
+        assert!(Checkpoint::<Sum>::from_words(&words).is_none());
+        let mut words = ckp.to_words();
+        words[1] = 999; // bad version
+        assert!(Checkpoint::<Sum>::from_words(&words).is_none());
+        let mut words = ckp.to_words();
+        words.push(0); // trailing garbage
+        assert!(Checkpoint::<Sum>::from_words(&words).is_none());
+        let mut words = ckp.to_words();
+        words.pop(); // truncated
+        assert!(Checkpoint::<Sum>::from_words(&words).is_none());
+    }
+
+    #[test]
+    fn file_roundtrip_and_resume() {
+        let dir = std::env::temp_dir().join(format!("phish-ckp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.ckp");
+
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(root()), 1000) else {
+            panic!("should pause");
+        };
+        ckp.save(&path).expect("save");
+        // "Process restart": all in-memory state is gone; reload.
+        let loaded = Checkpoint::<Sum>::load(&path).expect("io").expect("valid");
+        assert_eq!(loaded, ckp);
+        match run_slice(loaded, u64::MAX) {
+            SliceOutcome::Done(v) => assert_eq!(v, EXPECT),
+            SliceOutcome::Paused(_) => panic!("must finish"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_parallel_at_different_worker_count() {
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(root()), 2000) else {
+            panic!("should pause");
+        };
+        // Pause came from a serial slicer; resume on 4 workers.
+        let (v, _) = resume_parallel(SchedulerConfig::paper(4), ckp);
+        assert_eq!(v, EXPECT);
+    }
+
+    #[test]
+    fn run_checkpointed_persists_each_slice() {
+        let mut persisted = Vec::new();
+        let (v, slices) = run_checkpointed(root(), 5000, |ckp| {
+            persisted.push((ckp.steps_done, ckp.frontier.len()));
+        });
+        assert_eq!(v, EXPECT);
+        assert_eq!(persisted.len() as u64, slices - 1, "last slice finishes");
+        // Progress is monotonic.
+        assert!(persisted.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn checkpoint_works_for_real_apps() {
+        use phish_apps::{nqueens_serial, NQueensSpec, PfoldSpec};
+        // nqueens through pause/save/load/parallel-resume.
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(NQueensSpec::new(9, 4)), 50)
+        else {
+            panic!("should pause");
+        };
+        let words = ckp.to_words();
+        let back = Checkpoint::<NQueensSpec>::from_words(&words).unwrap();
+        let (v, _) = resume_parallel(SchedulerConfig::paper(3), back);
+        assert_eq!(v, nqueens_serial(9));
+        // pfold likewise.
+        let expect = run_serial(PfoldSpec::new(10, 5));
+        let SliceOutcome::Paused(ckp) = run_slice(Checkpoint::fresh(PfoldSpec::new(10, 5)), 80)
+        else {
+            panic!("should pause");
+        };
+        let back = Checkpoint::<PfoldSpec>::from_words(&ckp.to_words()).unwrap();
+        let (hist, _) = resume_parallel(SchedulerConfig::paper(2), back);
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn fresh_checkpoint_of_leaf_completes_in_one_step() {
+        let leaf = Sum { lo: 1, hi: 3 };
+        match run_slice(Checkpoint::fresh(leaf), 1) {
+            SliceOutcome::Done(v) => assert_eq!(v, 6),
+            SliceOutcome::Paused(_) => panic!("single leaf must finish in one step"),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The steal ledger: the "redundant state" behind Phish's fault tolerance.
+//!
+//! "Enough redundant state is maintained so that lost work can be redone in
+//! the event of a machine crash." (§3) Concretely — following the
+//! subcomputation scheme Blumofe later published as Cilk-NOW — every time a
+//! thief steals a task, the *victim* records the stolen spec, who took it,
+//! and which of the victim's own open assignments it belongs to. The entry
+//! is erased when the thief reports the subtree's result; if the thief is
+//! declared crashed first, the victim re-enqueues the spec and executes it
+//! again. Because a result is merged exactly when its ledger entry is
+//! erased, no subtree is ever counted twice.
+
+use std::collections::HashMap;
+
+/// Identifies an open assignment within one worker.
+pub type AssignmentId = u64;
+
+/// Identifies a ledger entry within one worker (the victim). The pair
+/// (victim id, entry id) is globally unique and travels with the stolen
+/// task so the thief can address its report.
+pub type EntryId = u64;
+
+/// One outstanding stolen subcomputation.
+#[derive(Debug, Clone)]
+pub struct Entry<S> {
+    /// The stolen spec, kept so it can be re-executed.
+    pub spec: S,
+    /// Which worker took it.
+    pub thief: usize,
+    /// Which of the victim's assignments the subtree belongs to.
+    pub assignment: AssignmentId,
+}
+
+/// A victim-side ledger of outstanding steals.
+#[derive(Debug)]
+pub struct Ledger<S> {
+    entries: HashMap<EntryId, Entry<S>>,
+    next_id: EntryId,
+}
+
+impl<S> Default for Ledger<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Ledger<S> {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Records a steal; the returned id travels with the stolen task.
+    pub fn record(&mut self, spec: S, thief: usize, assignment: AssignmentId) -> EntryId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                spec,
+                thief,
+                assignment,
+            },
+        );
+        id
+    }
+
+    /// The thief reported the subtree's result: erase the entry, returning
+    /// the assignment it completes. `None` when the entry is unknown — a
+    /// late report from a worker already declared crashed (whose subtree
+    /// was re-executed); the caller must discard the result.
+    pub fn complete(&mut self, id: EntryId, reporting_worker: usize) -> Option<AssignmentId> {
+        match self.entries.get(&id) {
+            Some(e) if e.thief == reporting_worker => {
+                let e = self.entries.remove(&id).expect("entry just observed");
+                Some(e.assignment)
+            }
+            _ => None,
+        }
+    }
+
+    /// A thief died: remove and return all of its entries so the victim can
+    /// re-enqueue the lost subtrees.
+    pub fn fail_thief(&mut self, thief: usize) -> Vec<Entry<S>> {
+        let ids: Vec<EntryId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.thief == thief)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .map(|id| self.entries.remove(&id).expect("id from scan"))
+            .collect()
+    }
+
+    /// Drops every entry belonging to `assignment` (the assignment itself
+    /// was orphaned: its origin died). Returns how many were dropped.
+    pub fn drop_assignment(&mut self, assignment: AssignmentId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.assignment != assignment);
+        before - self.entries.len()
+    }
+
+    /// Outstanding entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no steals are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Outstanding entries for one assignment.
+    pub fn outstanding_for(&self, assignment: AssignmentId) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.assignment == assignment)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_complete_roundtrip() {
+        let mut l = Ledger::new();
+        let id = l.record("subtree", 3, 7);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.outstanding_for(7), 1);
+        assert_eq!(l.complete(id, 3), Some(7));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn complete_rejects_wrong_reporter() {
+        // A report must come from the recorded thief; anything else is a
+        // protocol violation (or a duplicate after re-assignment) and is
+        // discarded.
+        let mut l = Ledger::new();
+        let id = l.record("s", 3, 1);
+        assert_eq!(l.complete(id, 4), None);
+        assert_eq!(l.len(), 1, "entry must survive a bogus report");
+        assert_eq!(l.complete(id, 3), Some(1));
+    }
+
+    #[test]
+    fn duplicate_complete_is_none() {
+        let mut l = Ledger::new();
+        let id = l.record("s", 2, 1);
+        assert_eq!(l.complete(id, 2), Some(1));
+        assert_eq!(l.complete(id, 2), None, "second report discarded");
+    }
+
+    #[test]
+    fn fail_thief_returns_only_its_entries() {
+        let mut l = Ledger::new();
+        l.record("a", 1, 10);
+        l.record("b", 2, 10);
+        l.record("c", 1, 11);
+        let lost = l.fail_thief(1);
+        assert_eq!(lost.len(), 2);
+        assert!(lost.iter().all(|e| e.thief == 1));
+        let specs: Vec<&str> = lost.iter().map(|e| e.spec).collect();
+        assert!(specs.contains(&"a") && specs.contains(&"c"));
+        assert_eq!(l.len(), 1, "worker 2's entry survives");
+    }
+
+    #[test]
+    fn late_report_after_failure_is_discarded() {
+        let mut l = Ledger::new();
+        let id = l.record("a", 1, 10);
+        let _ = l.fail_thief(1);
+        assert_eq!(l.complete(id, 1), None, "entry was re-assigned; discard");
+    }
+
+    #[test]
+    fn drop_assignment_clears_orphans() {
+        let mut l = Ledger::new();
+        l.record("a", 1, 10);
+        l.record("b", 2, 10);
+        l.record("c", 3, 11);
+        assert_eq!(l.drop_assignment(10), 2);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.outstanding_for(11), 1);
+    }
+
+    #[test]
+    fn entry_ids_never_reused() {
+        let mut l = Ledger::new();
+        let a = l.record("a", 1, 1);
+        l.complete(a, 1);
+        let b = l.record("b", 1, 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # phish-ft — fault tolerance by re-execution
+//!
+//! "Phish is fault tolerant. Enough redundant state is maintained so that
+//! lost work can be redone in the event of a machine crash." (§3) — and
+//! goal 3 of the implementation: "Provide fault tolerance so that
+//! applications can run for long periods of time."
+//!
+//! The redundant state is the [`ledger::Ledger`]: every steal leaves the
+//! stolen task's full description at the victim until the thief reports the
+//! subtree's result. Crash detection comes from the Clearinghouse's
+//! heartbeats ([`phish_macro::Clearinghouse`]); recovery re-enqueues every
+//! subtree the dead worker had stolen, orphans everything that was to be
+//! reported *to* it, and re-assigns the root if needed. The invariant — a
+//! result merges exactly when its ledger entry is erased — makes
+//! re-execution sound: no subtree is lost, none is counted twice.
+//!
+//! [`engine::RecoveringEngine`] runs [`phish_core::SpecTask`] trees under
+//! this scheme with injectable crashes ([`engine::CrashPlan`]).
+
+pub mod checkpoint;
+pub mod engine;
+pub mod ledger;
+
+pub use checkpoint::{
+    resume_parallel, run_checkpointed, run_slice, Checkpoint, SliceOutcome,
+};
+pub use engine::{CrashPlan, FtConfig, FtReport, RecoveringEngine};
+pub use ledger::{AssignmentId, EntryId, Ledger};

@@ -1,0 +1,342 @@
+//! The Clearinghouse: per-job registry and services.
+//!
+//! "The Clearinghouse is a special program (independent of the particular
+//! application) that is responsible for keeping track of all worker
+//! processes participating in the job and providing various services to the
+//! workers. When a worker starts, it registers with the Clearinghouse, and
+//! when a worker quits, it unregisters. Workers can find out about the
+//! other workers ... by obtaining periodic updates ... once every 2 minutes.
+//! Workers can perform I/O through the Clearinghouse ... which is buffered
+//! as much as possible." (§3)
+//!
+//! Heartbeats are this reproduction's concrete mechanism for the paper's
+//! fault-tolerance claim: the Clearinghouse declares a worker crashed when
+//! it misses enough heartbeats, and the recovery layer (phish-ft) redoes
+//! the lost work.
+
+use std::collections::HashMap;
+
+use phish_net::time::{Nanos, SECOND};
+use phish_net::NodeId;
+
+/// "a worker process communicates with the Clearinghouse ... once every 2
+/// minutes to obtain an update."
+pub const UPDATE_INTERVAL: Nanos = 120 * SECOND;
+
+/// Default heartbeat period for crash detection.
+pub const HEARTBEAT_INTERVAL: Nanos = 5 * SECOND;
+
+/// A worker missing this many consecutive heartbeats is declared crashed.
+pub const HEARTBEAT_MISSES: u32 = 3;
+
+/// A registered participant as seen by its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Participant {
+    /// Network address of the worker.
+    pub node: NodeId,
+    /// Registration time.
+    pub joined_at: Nanos,
+}
+
+/// A roster snapshot returned by the periodic update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Roster {
+    /// Monotonically increasing version; bumps on every join/leave.
+    pub version: u64,
+    /// Current participants, in join order.
+    pub participants: Vec<Participant>,
+}
+
+/// Clearinghouse service counters (the §3 scalability argument rests on
+/// these staying proportional to participants, not to tasks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClearinghouseStats {
+    /// Registrations served.
+    pub registrations: u64,
+    /// Unregistrations served.
+    pub unregistrations: u64,
+    /// Roster updates served.
+    pub updates_served: u64,
+    /// Output lines accepted from workers.
+    pub io_lines: u64,
+    /// Buffered-I/O flushes performed.
+    pub io_flushes: u64,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+    /// Workers declared crashed.
+    pub crashes_detected: u64,
+}
+
+/// The per-job Clearinghouse.
+#[derive(Debug)]
+pub struct Clearinghouse {
+    participants: HashMap<NodeId, ParticipantState>,
+    join_order: Vec<NodeId>,
+    version: u64,
+    /// Buffered worker output: flushed to `output` when the buffer exceeds
+    /// the threshold or on demand.
+    io_buffer: Vec<String>,
+    io_flush_threshold: usize,
+    output: Vec<String>,
+    stats: ClearinghouseStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParticipantState {
+    joined_at: Nanos,
+    last_heartbeat: Nanos,
+}
+
+impl Clearinghouse {
+    /// A Clearinghouse with the default I/O buffering (64 lines).
+    pub fn new() -> Self {
+        Self::with_flush_threshold(64)
+    }
+
+    /// A Clearinghouse flushing worker output every `threshold` lines.
+    pub fn with_flush_threshold(threshold: usize) -> Self {
+        Self {
+            participants: HashMap::new(),
+            join_order: Vec::new(),
+            version: 0,
+            io_buffer: Vec::new(),
+            io_flush_threshold: threshold.max(1),
+            output: Vec::new(),
+            stats: ClearinghouseStats::default(),
+        }
+    }
+
+    /// A worker registers. Returns the roster so the newcomer immediately
+    /// knows its peers. Re-registration refreshes the heartbeat without
+    /// duplicating the entry.
+    pub fn register(&mut self, node: NodeId, now: Nanos) -> Roster {
+        self.stats.registrations += 1;
+        if let Some(p) = self.participants.get_mut(&node) {
+            p.last_heartbeat = now;
+        } else {
+            self.participants.insert(
+                node,
+                ParticipantState {
+                    joined_at: now,
+                    last_heartbeat: now,
+                },
+            );
+            self.join_order.push(node);
+            self.version += 1;
+        }
+        self.roster_snapshot()
+    }
+
+    /// A worker unregisters (clean exit).
+    pub fn unregister(&mut self, node: NodeId) {
+        if self.participants.remove(&node).is_some() {
+            self.join_order.retain(|n| *n != node);
+            self.version += 1;
+            self.stats.unregistrations += 1;
+        }
+    }
+
+    /// Serves the 2-minute periodic update and counts a heartbeat for the
+    /// asking worker.
+    pub fn update(&mut self, node: NodeId, now: Nanos) -> Roster {
+        self.stats.updates_served += 1;
+        self.heartbeat(node, now);
+        self.roster_snapshot()
+    }
+
+    /// Records a heartbeat from `node`.
+    pub fn heartbeat(&mut self, node: NodeId, now: Nanos) {
+        if let Some(p) = self.participants.get_mut(&node) {
+            p.last_heartbeat = now;
+            self.stats.heartbeats += 1;
+        }
+    }
+
+    /// Declares crashed every participant that has missed
+    /// [`HEARTBEAT_MISSES`] heartbeats, removing them from the roster and
+    /// returning them for the recovery layer.
+    pub fn detect_crashes(&mut self, now: Nanos) -> Vec<NodeId> {
+        self.detect_crashes_with(now, HEARTBEAT_INTERVAL * Nanos::from(HEARTBEAT_MISSES))
+    }
+
+    /// [`Clearinghouse::detect_crashes`] with an explicit silence deadline
+    /// (tests and fast-failover deployments use short ones).
+    pub fn detect_crashes_with(&mut self, now: Nanos, deadline: Nanos) -> Vec<NodeId> {
+        let crashed: Vec<NodeId> = self
+            .join_order
+            .iter()
+            .copied()
+            .filter(|n| {
+                let p = &self.participants[n];
+                now.saturating_sub(p.last_heartbeat) >= deadline
+            })
+            .collect();
+        for node in &crashed {
+            self.participants.remove(node);
+            self.join_order.retain(|n| n != node);
+            self.version += 1;
+            self.stats.crashes_detected += 1;
+        }
+        crashed
+    }
+
+    /// Accepts a line of worker output ("a user need only watch the
+    /// Clearinghouse to see job output"), buffering it.
+    pub fn write_line(&mut self, node: NodeId, line: impl Into<String>) {
+        self.stats.io_lines += 1;
+        self.io_buffer.push(format!("[{node}] {}", line.into()));
+        if self.io_buffer.len() >= self.io_flush_threshold {
+            self.flush_io();
+        }
+    }
+
+    /// Flushes buffered output.
+    pub fn flush_io(&mut self) {
+        if !self.io_buffer.is_empty() {
+            self.stats.io_flushes += 1;
+            self.output.append(&mut self.io_buffer);
+        }
+    }
+
+    /// All flushed output lines, in arrival order.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Number of live participants.
+    pub fn participant_count(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Current roster version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ClearinghouseStats {
+        self.stats
+    }
+
+    fn roster_snapshot(&self) -> Roster {
+        Roster {
+            version: self.version,
+            participants: self
+                .join_order
+                .iter()
+                .map(|n| Participant {
+                    node: *n,
+                    joined_at: self.participants[n].joined_at,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Clearinghouse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_unregister_update_roster() {
+        let mut ch = Clearinghouse::new();
+        let r1 = ch.register(NodeId(1), 0);
+        assert_eq!(r1.participants.len(), 1);
+        let r2 = ch.register(NodeId(2), 10);
+        assert_eq!(r2.participants.len(), 2);
+        assert!(r2.version > r1.version);
+        ch.unregister(NodeId(1));
+        assert_eq!(ch.participant_count(), 1);
+        let r3 = ch.update(NodeId(2), 20);
+        assert_eq!(r3.participants.len(), 1);
+        assert_eq!(r3.participants[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let mut ch = Clearinghouse::new();
+        ch.register(NodeId(1), 0);
+        let v = ch.version();
+        ch.register(NodeId(1), 5);
+        assert_eq!(ch.version(), v, "re-register must not bump the roster");
+        assert_eq!(ch.participant_count(), 1);
+    }
+
+    #[test]
+    fn roster_preserves_join_order() {
+        let mut ch = Clearinghouse::new();
+        for i in [5u32, 2, 9] {
+            ch.register(NodeId(i), u64::from(i));
+        }
+        let roster = ch.update(NodeId(5), 100);
+        let order: Vec<u32> = roster.participants.iter().map(|p| p.node.0).collect();
+        assert_eq!(order, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn crash_detection_after_missed_heartbeats() {
+        let mut ch = Clearinghouse::new();
+        ch.register(NodeId(1), 0);
+        ch.register(NodeId(2), 0);
+        // Node 2 keeps beating; node 1 goes silent.
+        let deadline = HEARTBEAT_INTERVAL * Nanos::from(HEARTBEAT_MISSES);
+        ch.heartbeat(NodeId(2), deadline - SECOND);
+        let crashed = ch.detect_crashes(deadline);
+        assert_eq!(crashed, vec![NodeId(1)]);
+        assert_eq!(ch.participant_count(), 1);
+        assert_eq!(ch.stats().crashes_detected, 1);
+        // No double detection.
+        assert!(ch.detect_crashes(deadline).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_node_ignored() {
+        let mut ch = Clearinghouse::new();
+        ch.heartbeat(NodeId(9), 0);
+        assert_eq!(ch.stats().heartbeats, 0);
+    }
+
+    #[test]
+    fn io_is_buffered_then_flushed() {
+        let mut ch = Clearinghouse::with_flush_threshold(3);
+        ch.write_line(NodeId(1), "a");
+        ch.write_line(NodeId(1), "b");
+        assert!(ch.output().is_empty(), "below threshold: still buffered");
+        ch.write_line(NodeId(2), "c");
+        assert_eq!(ch.output().len(), 3, "threshold reached: flushed");
+        assert_eq!(ch.output()[2], "[n2] c");
+        assert_eq!(ch.stats().io_flushes, 1);
+        // Manual flush drains stragglers.
+        ch.write_line(NodeId(1), "d");
+        ch.flush_io();
+        assert_eq!(ch.output().len(), 4);
+    }
+
+    #[test]
+    fn update_counts_as_heartbeat() {
+        let mut ch = Clearinghouse::new();
+        ch.register(NodeId(1), 0);
+        let deadline = HEARTBEAT_INTERVAL * Nanos::from(HEARTBEAT_MISSES);
+        ch.update(NodeId(1), deadline - 1);
+        assert!(ch.detect_crashes(deadline).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ch = Clearinghouse::new();
+        ch.register(NodeId(1), 0);
+        ch.update(NodeId(1), 1);
+        ch.unregister(NodeId(1));
+        let s = ch.stats();
+        assert_eq!(s.registrations, 1);
+        assert_eq!(s.updates_served, 1);
+        assert_eq!(s.unregistrations, 1);
+        assert_eq!(s.heartbeats, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The Clearinghouse as an actual RPC server.
+//!
+//! "When a worker starts, it registers with the Clearinghouse, and when a
+//! worker quits, it unregisters. Workers can find out about the other
+//! workers participating in the job by obtaining periodic updates ...
+//! Workers can perform I/O through the Clearinghouse, so a user need only
+//! watch the Clearinghouse to see job output." (§3)
+//!
+//! [`ClearinghouseService`] runs one job's [`Clearinghouse`] behind an RPC
+//! server on its own thread; [`ClearinghouseClient`] is the handle a worker
+//! process holds. A background sweep declares silent workers crashed, which
+//! the fault-tolerance layer consumes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use phish_net::time::{Clock, Nanos, RealClock};
+use phish_net::{ChannelNet, NodeId, RpcClient, RpcFrame, RpcServer, SendCost, WireSized};
+
+use crate::clearinghouse::{Clearinghouse, ClearinghouseStats, Roster};
+
+/// Worker → Clearinghouse requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChRequest {
+    /// Join the job.
+    Register,
+    /// Leave the job.
+    Unregister,
+    /// The 2-minute periodic update (doubles as a heartbeat).
+    Update,
+    /// A bare heartbeat.
+    Heartbeat,
+    /// A line of job output.
+    WriteLine(String),
+    /// Workers declared crashed since the last drain (recovery layer).
+    TakeCrashed,
+}
+
+/// Clearinghouse replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChReply {
+    /// The roster (for Register/Update).
+    Roster(Roster),
+    /// Plain acknowledgement.
+    Ack,
+    /// Crashed workers drained by `TakeCrashed`.
+    Crashed(Vec<NodeId>),
+}
+
+impl WireSized for ChRequest {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ChRequest::WriteLine(s) => phish_net::message::HEADER_BYTES + s.len(),
+            _ => phish_net::message::HEADER_BYTES,
+        }
+    }
+}
+
+impl WireSized for ChReply {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ChReply::Roster(r) => phish_net::message::HEADER_BYTES + r.participants.len() * 12,
+            ChReply::Crashed(v) => phish_net::message::HEADER_BYTES + v.len() * 4,
+            ChReply::Ack => phish_net::message::HEADER_BYTES,
+        }
+    }
+}
+
+type Frame = RpcFrame<ChRequest, ChReply>;
+
+/// A running Clearinghouse server plus its client endpoints.
+pub struct ClearinghouseService {
+    handle: Option<std::thread::JoinHandle<(ClearinghouseStats, Vec<String>)>>,
+    stop: Arc<AtomicBool>,
+    clients: Vec<Option<RpcClient<ChRequest, ChReply>>>,
+    server_node: NodeId,
+    /// Crash-detection deadline used by the serving loop.
+    crash_deadline: Nanos,
+    /// Detected-but-undrained crashed workers.
+    pending_crashes: Arc<Mutex<Vec<NodeId>>>,
+}
+
+impl ClearinghouseService {
+    /// Starts a Clearinghouse serving `clients` worker endpoints, declaring
+    /// a worker crashed after `crash_deadline` of silence.
+    pub fn start(clients: usize, crash_deadline: Duration) -> Self {
+        let eps = ChannelNet::<Frame>::new(clients + 1, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let client_eps: Vec<_> = (0..clients).map(|_| it.next().expect("endpoint")).collect();
+        let server_ep = it.next().expect("server endpoint");
+        let server_node = server_ep.id();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let pending_crashes = Arc::new(Mutex::new(Vec::new()));
+        let pending = Arc::clone(&pending_crashes);
+        let deadline_ns = crash_deadline.as_nanos() as Nanos;
+        let handle = std::thread::Builder::new()
+            .name("phish-clearinghouse".into())
+            .spawn(move || {
+                let clock = RealClock::new();
+                let mut ch = Clearinghouse::new();
+                let mut server = RpcServer::new(server_ep);
+                while !stop_flag.load(Ordering::Acquire) {
+                    let now = clock.now();
+                    let mut handler = |src: NodeId, req: ChRequest| -> ChReply {
+                        match req {
+                            ChRequest::Register => ChReply::Roster(ch.register(src, now)),
+                            ChRequest::Unregister => {
+                                ch.unregister(src);
+                                ChReply::Ack
+                            }
+                            ChRequest::Update => ChReply::Roster(ch.update(src, now)),
+                            ChRequest::Heartbeat => {
+                                ch.heartbeat(src, now);
+                                ChReply::Ack
+                            }
+                            ChRequest::WriteLine(line) => {
+                                ch.write_line(src, line);
+                                ChReply::Ack
+                            }
+                            ChRequest::TakeCrashed => {
+                                ChReply::Crashed(std::mem::take(&mut *pending.lock()))
+                            }
+                        }
+                    };
+                    server.serve_once(Duration::from_millis(1), &mut handler);
+                    let crashed = ch.detect_crashes_with(clock.now(), deadline_ns);
+                    if !crashed.is_empty() {
+                        pending.lock().extend(crashed);
+                    }
+                }
+                ch.flush_io();
+                (ch.stats(), ch.output().to_vec())
+            })
+            .expect("spawn clearinghouse server");
+        Self {
+            handle: Some(handle),
+            stop,
+            clients: client_eps
+                .into_iter()
+                .map(|ep| Some(RpcClient::new(ep)))
+                .collect(),
+            server_node,
+            crash_deadline: deadline_ns,
+            pending_crashes,
+        }
+    }
+
+    /// The silence deadline after which workers are declared crashed.
+    pub fn crash_deadline(&self) -> Nanos {
+        self.crash_deadline
+    }
+
+    /// Takes worker `i`'s client handle (each worker takes exactly one).
+    pub fn take_client(&mut self, i: usize) -> ClearinghouseClient {
+        ClearinghouseClient {
+            rpc: self.clients[i].take().expect("client already taken"),
+            server: self.server_node,
+        }
+    }
+
+    /// Crashed workers detected so far (without going through a client).
+    pub fn crashed_snapshot(&self) -> Vec<NodeId> {
+        self.pending_crashes.lock().clone()
+    }
+
+    /// Stops the server; returns its final statistics and the flushed job
+    /// output.
+    pub fn shutdown(mut self) -> (ClearinghouseStats, Vec<String>) {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("handle present")
+            .join()
+            .expect("clearinghouse server panicked")
+    }
+}
+
+/// A worker's handle to the remote Clearinghouse.
+pub struct ClearinghouseClient {
+    rpc: RpcClient<ChRequest, ChReply>,
+    server: NodeId,
+}
+
+impl ClearinghouseClient {
+    /// Registers, returning the roster.
+    pub fn register(&mut self, timeout: Duration) -> Option<Roster> {
+        match self.rpc.call_blocking(self.server, ChRequest::Register, timeout) {
+            Some(ChReply::Roster(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unregisters (clean exit).
+    pub fn unregister(&mut self, timeout: Duration) -> bool {
+        matches!(
+            self.rpc.call_blocking(self.server, ChRequest::Unregister, timeout),
+            Some(ChReply::Ack)
+        )
+    }
+
+    /// The periodic update: fresh roster plus an implicit heartbeat.
+    pub fn update(&mut self, timeout: Duration) -> Option<Roster> {
+        match self.rpc.call_blocking(self.server, ChRequest::Update, timeout) {
+            Some(ChReply::Roster(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A bare heartbeat.
+    pub fn heartbeat(&mut self, timeout: Duration) -> bool {
+        matches!(
+            self.rpc.call_blocking(self.server, ChRequest::Heartbeat, timeout),
+            Some(ChReply::Ack)
+        )
+    }
+
+    /// Sends a line of job output through the Clearinghouse.
+    pub fn write_line(&mut self, line: impl Into<String>, timeout: Duration) -> bool {
+        matches!(
+            self.rpc
+                .call_blocking(self.server, ChRequest::WriteLine(line.into()), timeout),
+            Some(ChReply::Ack)
+        )
+    }
+
+    /// Drains the crashed-worker list (recovery layer).
+    pub fn take_crashed(&mut self, timeout: Duration) -> Vec<NodeId> {
+        match self.rpc.call_blocking(self.server, ChRequest::TakeCrashed, timeout) {
+            Some(ChReply::Crashed(v)) => v,
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn register_update_unregister_over_rpc() {
+        let mut svc = ClearinghouseService::start(2, Duration::from_secs(60));
+        let mut w0 = svc.take_client(0);
+        let mut w1 = svc.take_client(1);
+        let r0 = w0.register(T).expect("roster");
+        assert_eq!(r0.participants.len(), 1);
+        let r1 = w1.register(T).expect("roster");
+        assert_eq!(r1.participants.len(), 2);
+        assert!(w0.write_line("hello from w0", T));
+        let r = w0.update(T).expect("update");
+        assert_eq!(r.participants.len(), 2);
+        assert!(w1.unregister(T));
+        let r = w0.update(T).expect("update");
+        assert_eq!(r.participants.len(), 1);
+        assert!(w0.unregister(T));
+        let (stats, output) = svc.shutdown();
+        assert_eq!(stats.registrations, 2);
+        assert_eq!(stats.unregistrations, 2);
+        assert_eq!(stats.updates_served, 2);
+        assert_eq!(output.len(), 1);
+        assert!(output[0].contains("hello from w0"));
+    }
+
+    #[test]
+    fn silent_worker_declared_crashed() {
+        let mut svc = ClearinghouseService::start(2, Duration::from_millis(50));
+        let mut lively = svc.take_client(0);
+        let mut doomed = svc.take_client(1);
+        lively.register(T).unwrap();
+        doomed.register(T).unwrap();
+        // `doomed` goes silent; `lively` keeps beating past the deadline.
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(15));
+            assert!(lively.heartbeat(T));
+        }
+        let crashed = lively.take_crashed(T);
+        assert_eq!(crashed, vec![NodeId(1)], "silent worker must be declared");
+        let (stats, _) = svc.shutdown();
+        assert_eq!(stats.crashes_detected, 1);
+    }
+
+    #[test]
+    fn taking_a_client_twice_panics() {
+        let mut svc = ClearinghouseService::start(1, Duration::from_secs(1));
+        let _c = svc.take_client(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.take_client(0)));
+        assert!(r.is_err());
+        svc.shutdown();
+    }
+}

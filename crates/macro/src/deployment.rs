@@ -1,0 +1,541 @@
+//! A live, threaded Phish deployment.
+//!
+//! This is Figure 2 of the paper running for real inside one process: a
+//! JobQ, one JobManager thread per "workstation" (each with its own
+//! simulated owner), a per-job Clearinghouse, and real worker bodies doing
+//! real computation. Workstations join jobs when their owners leave, are
+//! evicted within one owner-poll period when owners return, exit on their
+//! own when parallelism shrinks, and go straight back to the JobQ — the
+//! complete idle-initiated macro-level loop, with the paper's polling
+//! cadences (scaled down so tests take milliseconds, not minutes).
+//!
+//! What a "worker process" does is the caller's business: a
+//! [`WorkerBody`] runs on the workstation's thread until it finishes,
+//! notices shrunken parallelism, or is told the owner came back. The
+//! `phish` facade crate provides a spec-pool body that plugs the
+//! micro-level work model in here.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use phish_net::time::{Clock, Nanos, RealClock};
+use phish_net::NodeId;
+
+use crate::clearinghouse::Clearinghouse;
+use crate::idleness::{NobodyLoggedIn, OwnerObservation};
+use crate::jobmanager::{Cadences, ExitReason, JobManager, ManagerAction};
+use crate::jobq::{JobId, JobQ, JobSpec};
+
+/// Why a worker body stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantExit {
+    /// The job is complete.
+    JobFinished,
+    /// The eviction flag was raised (owner returned / preemption).
+    Evicted,
+    /// No work was available for this participant (parallelism shrank).
+    ParallelismShrank,
+}
+
+/// The computation one participant runs.
+///
+/// `evict` is raised when the workstation's owner returns; bodies must
+/// poll it at task granularity and return [`ParticipantExit::Evicted`]
+/// promptly, migrating any unfinished work back to the job's shared state
+/// first ("the process's data migrates before termination", §2).
+pub trait WorkerBody: Send + Sync {
+    /// Runs one participant on workstation `ws`.
+    fn run(&self, ws: usize, evict: &AtomicBool) -> ParticipantExit;
+}
+
+/// An owner-activity script: given time since deployment start, is the
+/// owner using the machine?
+pub type OwnerScript = Arc<dyn Fn(Nanos) -> bool + Send + Sync>;
+
+/// Configuration of a live deployment.
+#[derive(Clone)]
+pub struct DeploymentConfig {
+    /// Number of workstation threads.
+    pub workstations: usize,
+    /// Manager polling cadences (scale the paper's down for tests).
+    pub cadences: Cadences,
+    /// Owner scripts per workstation; missing entries mean "always away".
+    pub owners: HashMap<usize, OwnerScript>,
+}
+
+impl DeploymentConfig {
+    /// `n` workstations with absent owners and millisecond-scale cadences
+    /// (paper cadences ÷ 10000: owner polls every 30ms busy / 0.2ms
+    /// running, job retries every 3ms).
+    pub fn dedicated(n: usize) -> Self {
+        Self {
+            workstations: n,
+            cadences: Cadences::scaled_down(10_000),
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Adds an owner script for workstation `ws`.
+    pub fn with_owner(mut self, ws: usize, script: OwnerScript) -> Self {
+        self.owners.insert(ws, script);
+        self
+    }
+}
+
+struct JobRecord {
+    body: Arc<dyn WorkerBody>,
+    finished: bool,
+}
+
+struct Central {
+    jobq: Mutex<JobQ>,
+    jobs: Mutex<HashMap<JobId, JobRecord>>,
+    clearinghouse: Mutex<Clearinghouse>,
+    finished_signal: Condvar,
+    shutdown: AtomicBool,
+    clock: RealClock,
+}
+
+/// Per-job participation counters for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobOutcomeStats {
+    /// Participants that ran to job completion.
+    pub finished_exits: u64,
+    /// Participants evicted by returning owners.
+    pub evictions: u64,
+    /// Participants that left because parallelism shrank.
+    pub shrink_exits: u64,
+    /// Participants preempted for a higher-priority job.
+    pub preemptions: u64,
+}
+
+/// A running deployment.
+pub struct Deployment {
+    central: Arc<Central>,
+    handles: Vec<std::thread::JoinHandle<JobOutcomeStats>>,
+}
+
+impl Deployment {
+    /// Starts the workstation threads.
+    pub fn start(cfg: DeploymentConfig) -> Self {
+        let central = Arc::new(Central {
+            jobq: Mutex::new(JobQ::new()),
+            jobs: Mutex::new(HashMap::new()),
+            clearinghouse: Mutex::new(Clearinghouse::new()),
+            finished_signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            clock: RealClock::new(),
+        });
+        let handles = (0..cfg.workstations)
+            .map(|ws| {
+                let central = Arc::clone(&central);
+                let cadences = cfg.cadences;
+                let owner = cfg.owners.get(&ws).cloned();
+                std::thread::Builder::new()
+                    .name(format!("phish-ws-{ws}"))
+                    .spawn(move || workstation_thread(ws, central, cadences, owner))
+                    .expect("spawn workstation thread")
+            })
+            .collect();
+        Self { central, handles }
+    }
+
+    /// Submits a job with its worker body; idle workstations will pick it
+    /// up within one job-retry period.
+    pub fn submit(&self, spec: JobSpec, body: Arc<dyn WorkerBody>) -> JobId {
+        let id = self.central.jobq.lock().submit(spec);
+        self.central.jobs.lock().insert(
+            id,
+            JobRecord {
+                body,
+                finished: false,
+            },
+        );
+        id
+    }
+
+    /// Blocks until `job` completes; `false` on timeout.
+    pub fn wait_job(&self, job: JobId, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut jobs = self.central.jobs.lock();
+        loop {
+            if jobs.get(&job).is_none_or(|j| j.finished) {
+                return true;
+            }
+            if self
+                .central
+                .finished_signal
+                .wait_until(&mut jobs, deadline)
+                .timed_out()
+            {
+                return jobs.get(&job).is_none_or(|j| j.finished);
+            }
+        }
+    }
+
+    /// Stops all workstation threads and returns the aggregated
+    /// participation statistics.
+    pub fn shutdown(self) -> JobOutcomeStats {
+        self.central.shutdown.store(true, Ordering::Release);
+        let mut total = JobOutcomeStats::default();
+        for h in self.handles {
+            let s = h.join().expect("workstation thread panicked");
+            total.finished_exits += s.finished_exits;
+            total.evictions += s.evictions;
+            total.shrink_exits += s.shrink_exits;
+            total.preemptions += s.preemptions;
+        }
+        total
+    }
+
+    /// Snapshot of the Clearinghouse roster size (participants currently
+    /// registered across all jobs).
+    pub fn participants(&self) -> usize {
+        self.central.clearinghouse.lock().participant_count()
+    }
+}
+
+fn workstation_thread(
+    ws: usize,
+    central: Arc<Central>,
+    cadences: Cadences,
+    owner: Option<OwnerScript>,
+) -> JobOutcomeStats {
+    let mut stats = JobOutcomeStats::default();
+    let now0 = central.clock.now();
+    let mut manager = JobManager::with_cadences(Box::new(NobodyLoggedIn), now0, cadences);
+    let observe = |central: &Central| -> OwnerObservation {
+        let t = central.clock.now();
+        let busy = owner.as_ref().is_some_and(|f| f(t));
+        if busy {
+            OwnerObservation::occupied()
+        } else {
+            OwnerObservation::vacant()
+        }
+    };
+    while !central.shutdown.load(Ordering::Acquire) {
+        let now = central.clock.now();
+        let wait = manager.next_timer().saturating_sub(now);
+        if wait > 0 {
+            std::thread::sleep(Duration::from_nanos(wait.min(5_000_000)));
+            continue;
+        }
+        let obs = observe(&central);
+        let actions = manager.tick(central.clock.now(), &obs);
+        for action in actions {
+            match action {
+                ManagerAction::RequestJob => {
+                    let reply = central.jobq.lock().request();
+                    let more = manager.on_job_reply(central.clock.now(), reply);
+                    for a in more {
+                        if let ManagerAction::StartWorker(assignment) = a {
+                            run_participant(ws, &central, &mut manager, &mut stats, assignment.job, &observe, cadences);
+                        }
+                    }
+                }
+                ManagerAction::KillWorker(_) | ManagerAction::StartWorker(_) => {
+                    unreachable!("kill/start outside participation are handled inline")
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Runs participations until the workstation has no immediate next
+/// assignment (iterative, so a workstation cycling through thousands of
+/// consecutive assignments uses constant stack).
+#[allow(clippy::too_many_arguments)]
+fn run_participant(
+    ws: usize,
+    central: &Central,
+    manager: &mut JobManager,
+    stats: &mut JobOutcomeStats,
+    job: JobId,
+    observe: &dyn Fn(&Central) -> OwnerObservation,
+    cadences: Cadences,
+) {
+    let mut next = Some(job);
+    while let Some(job) = next {
+        next = run_one_participation(ws, central, manager, stats, job, observe, cadences);
+    }
+}
+
+/// One participation; returns the immediate next assignment, if any.
+#[allow(clippy::too_many_arguments)]
+fn run_one_participation(
+    ws: usize,
+    central: &Central,
+    manager: &mut JobManager,
+    stats: &mut JobOutcomeStats,
+    job: JobId,
+    observe: &dyn Fn(&Central) -> OwnerObservation,
+    _cadences: Cadences,
+) -> Option<JobId> {
+    let Some(body) = central.jobs.lock().get(&job).map(|r| Arc::clone(&r.body)) else {
+        // Job vanished between assignment and start.
+        central.jobq.lock().release(job);
+        manager.on_worker_exit(central.clock.now(), ExitReason::JobFinished);
+        return None;
+    };
+    central
+        .clearinghouse
+        .lock()
+        .register(NodeId(ws as u32), central.clock.now());
+    // The "worker process" runs on a separate thread so the manager can
+    // keep polling the owner at its 2-second (scaled) cadence and raise
+    // the eviction flag, exactly like the real PhishJobManager killing the
+    // worker process.
+    let evict = Arc::new(AtomicBool::new(false));
+    let body_evict = Arc::clone(&evict);
+    let worker = std::thread::Builder::new()
+        .name(format!("phish-worker-ws{ws}"))
+        .spawn(move || body.run(ws, &body_evict))
+        .expect("spawn worker body");
+    let exit = loop {
+        if worker.is_finished() {
+            break worker.join().expect("worker body panicked");
+        }
+        let now = central.clock.now();
+        if now >= manager.next_timer() {
+            let obs = observe(central);
+            let actions = manager.tick(now, &obs);
+            // Priority preemption — "the only case in which the macro-level
+            // scheduler performs time-sharing" (§2): a strictly
+            // higher-priority job waiting in the pool takes this machine.
+            let preempt = actions.is_empty()
+                && central.jobq.lock().should_preempt(job).is_some();
+            if preempt {
+                evict.store(true, Ordering::Release);
+                let exit = worker.join().expect("worker body panicked");
+                central.jobq.lock().release(job);
+                central.clearinghouse.lock().unregister(NodeId(ws as u32));
+                match exit {
+                    ParticipantExit::JobFinished => {
+                        stats.finished_exits += 1;
+                        mark_finished(central, job);
+                    }
+                    ParticipantExit::Evicted => stats.preemptions += 1,
+                    ParticipantExit::ParallelismShrank => stats.shrink_exits += 1,
+                }
+                // The manager kills and immediately re-requests; the JobQ
+                // hands it the higher-priority job.
+                let kill_actions = manager.preempt(central.clock.now());
+                for a in kill_actions {
+                    if let ManagerAction::RequestJob = a {
+                        let reply = central.jobq.lock().request();
+                        let more = manager.on_job_reply(central.clock.now(), reply);
+                        for a in more {
+                            if let ManagerAction::StartWorker(assignment) = a {
+                                return Some(assignment.job);
+                            }
+                        }
+                    }
+                }
+                return None;
+            }
+            if actions
+                .iter()
+                .any(|a| matches!(a, ManagerAction::KillWorker(_)))
+            {
+                evict.store(true, Ordering::Release);
+                let exit = worker.join().expect("worker body panicked");
+                // Manager already transitioned to OwnerActive.
+                central.jobq.lock().release(job);
+                central.clearinghouse.lock().unregister(NodeId(ws as u32));
+                match exit {
+                    ParticipantExit::Evicted => stats.evictions += 1,
+                    ParticipantExit::JobFinished => {
+                        stats.finished_exits += 1;
+                        mark_finished(central, job);
+                    }
+                    ParticipantExit::ParallelismShrank => stats.shrink_exits += 1,
+                }
+                return None;
+            }
+        }
+        if central.shutdown.load(Ordering::Acquire) {
+            evict.store(true, Ordering::Release);
+            let _ = worker.join();
+            central.jobq.lock().release(job);
+            central.clearinghouse.lock().unregister(NodeId(ws as u32));
+            return None;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    // Worker exited on its own.
+    central.jobq.lock().release(job);
+    central.clearinghouse.lock().unregister(NodeId(ws as u32));
+    let reason = match exit {
+        ParticipantExit::JobFinished => {
+            stats.finished_exits += 1;
+            mark_finished(central, job);
+            ExitReason::JobFinished
+        }
+        ParticipantExit::ParallelismShrank => {
+            stats.shrink_exits += 1;
+            ExitReason::ParallelismShrank
+        }
+        ParticipantExit::Evicted => {
+            stats.evictions += 1;
+            ExitReason::ParallelismShrank
+        }
+    };
+    manager.on_worker_exit(central.clock.now(), reason);
+    // The exit handler issued a RequestJob; serve it immediately.
+    let reply = central.jobq.lock().request();
+    let more = manager.on_job_reply(central.clock.now(), reply);
+    for a in more {
+        if let ManagerAction::StartWorker(assignment) = a {
+            return Some(assignment.job);
+        }
+    }
+    None
+}
+
+fn mark_finished(central: &Central, job: JobId) {
+    let mut jobs = central.jobs.lock();
+    if let Some(r) = jobs.get_mut(&job) {
+        if !r.finished {
+            r.finished = true;
+            central.jobq.lock().complete(job);
+        }
+    }
+    central.finished_signal.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A body that just counts invocations and sleeps briefly.
+    struct CountBody {
+        runs: AtomicU64,
+        work_ms: u64,
+    }
+
+    impl WorkerBody for CountBody {
+        fn run(&self, _ws: usize, evict: &AtomicBool) -> ParticipantExit {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + Duration::from_millis(self.work_ms);
+            while std::time::Instant::now() < deadline {
+                if evict.load(Ordering::Acquire) {
+                    return ParticipantExit::Evicted;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            ParticipantExit::JobFinished
+        }
+    }
+
+    #[test]
+    fn dedicated_deployment_runs_a_job_to_completion() {
+        let dep = Deployment::start(DeploymentConfig::dedicated(2));
+        let body = Arc::new(CountBody {
+            runs: AtomicU64::new(0),
+            work_ms: 20,
+        });
+        let job = dep.submit(JobSpec::named("count"), Arc::clone(&body) as _);
+        assert!(dep.wait_job(job, Duration::from_secs(20)), "job timed out");
+        let stats = dep.shutdown();
+        assert!(body.runs.load(Ordering::SeqCst) >= 1);
+        assert!(stats.finished_exits >= 1);
+    }
+
+    #[test]
+    fn owner_return_evicts_participant() {
+        // Workstation 0's owner is away for 100ms, then comes back for
+        // good. The body runs "forever", so the only way it stops is
+        // eviction.
+        struct Forever;
+        impl WorkerBody for Forever {
+            fn run(&self, _ws: usize, evict: &AtomicBool) -> ParticipantExit {
+                loop {
+                    if evict.load(Ordering::Acquire) {
+                        return ParticipantExit::Evicted;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        let owner: OwnerScript = Arc::new(|t| t > 100_000_000);
+        let cfg = DeploymentConfig::dedicated(1).with_owner(0, owner);
+        let dep = Deployment::start(cfg);
+        let _job = dep.submit(JobSpec::named("forever"), Arc::new(Forever));
+        // Give it time to join and then be evicted.
+        std::thread::sleep(Duration::from_millis(400));
+        let stats = dep.shutdown();
+        assert!(stats.evictions >= 1, "owner return must evict: {stats:?}");
+    }
+
+    #[test]
+    fn higher_priority_job_preempts() {
+        use crate::jobq::JobSpec;
+        struct Forever;
+        impl WorkerBody for Forever {
+            fn run(&self, _ws: usize, evict: &AtomicBool) -> ParticipantExit {
+                loop {
+                    if evict.load(Ordering::Acquire) {
+                        return ParticipantExit::Evicted;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        let dep = Deployment::start(DeploymentConfig::dedicated(1));
+        let _low = dep.submit(JobSpec::named("low"), Arc::new(Forever));
+        // Give the workstation time to join the low-priority job.
+        std::thread::sleep(Duration::from_millis(150));
+        let body = Arc::new(CountBody {
+            runs: AtomicU64::new(0),
+            work_ms: 10,
+        });
+        let high = dep.submit(
+            JobSpec {
+                name: "high".into(),
+                priority: 9,
+                max_participants: None,
+            },
+            Arc::clone(&body) as _,
+        );
+        assert!(
+            dep.wait_job(high, Duration::from_secs(30)),
+            "high-priority job must preempt and finish"
+        );
+        let stats = dep.shutdown();
+        assert!(stats.preemptions >= 1, "{stats:?}");
+        assert!(body.runs.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn shutdown_with_no_jobs_is_clean() {
+        let dep = Deployment::start(DeploymentConfig::dedicated(3));
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = dep.shutdown();
+        assert_eq!(stats, JobOutcomeStats::default());
+    }
+
+    #[test]
+    fn wait_job_times_out_for_unfinished_job() {
+        struct Forever;
+        impl WorkerBody for Forever {
+            fn run(&self, _ws: usize, evict: &AtomicBool) -> ParticipantExit {
+                loop {
+                    if evict.load(Ordering::Acquire) {
+                        return ParticipantExit::Evicted;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        let dep = Deployment::start(DeploymentConfig::dedicated(1));
+        let job = dep.submit(JobSpec::named("forever"), Arc::new(Forever));
+        assert!(!dep.wait_job(job, Duration::from_millis(100)));
+        dep.shutdown();
+    }
+}

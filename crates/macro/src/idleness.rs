@@ -1,0 +1,149 @@
+//! Owner-sovereignty idleness policies.
+//!
+//! "Each workstation owner can set his or her own policy on 'idleness'
+//! versus 'busyness.' For example, some owners may decide that their
+//! machines are idle ... only when nobody is logged in. Other owners may
+//! make their machines available so long as the CPU load is below some
+//! threshold. We believe that maintaining the owner's sovereignty is
+//! essential." (§2)
+
+/// What the JobManager can observe about the workstation's owner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OwnerObservation {
+    /// Number of interactively logged-in users.
+    pub users_logged_in: u32,
+    /// One-minute CPU load average attributable to the owner.
+    pub cpu_load: f64,
+}
+
+impl OwnerObservation {
+    /// A workstation with nobody logged in and no load.
+    pub fn vacant() -> Self {
+        Self {
+            users_logged_in: 0,
+            cpu_load: 0.0,
+        }
+    }
+
+    /// A workstation with an active interactive user.
+    pub fn occupied() -> Self {
+        Self {
+            users_logged_in: 1,
+            cpu_load: 0.5,
+        }
+    }
+}
+
+/// An owner's definition of "my machine is idle".
+pub trait IdlenessPolicy: Send + Sync {
+    /// True when the workstation may run parallel work.
+    fn is_idle(&self, obs: &OwnerObservation) -> bool;
+
+    /// Policy name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's conservative default: "a workstation is deemed idle only
+/// when no users are logged in." (§3)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NobodyLoggedIn;
+
+impl IdlenessPolicy for NobodyLoggedIn {
+    fn is_idle(&self, obs: &OwnerObservation) -> bool {
+        obs.users_logged_in == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "nobody-logged-in"
+    }
+}
+
+/// A more permissive policy: idle whenever owner CPU load is below a
+/// threshold, regardless of logins.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadBelowThreshold {
+    /// Maximum owner load considered idle.
+    pub max_load: f64,
+}
+
+impl IdlenessPolicy for LoadBelowThreshold {
+    fn is_idle(&self, obs: &OwnerObservation) -> bool {
+        obs.cpu_load < self.max_load
+    }
+
+    fn name(&self) -> &'static str {
+        "load-below-threshold"
+    }
+}
+
+/// Both conditions at once: nobody logged in *and* load low — for owners
+/// who leave background jobs running.
+#[derive(Debug, Clone, Copy)]
+pub struct VacantAndQuiet {
+    /// Maximum residual load considered idle.
+    pub max_load: f64,
+}
+
+impl IdlenessPolicy for VacantAndQuiet {
+    fn is_idle(&self, obs: &OwnerObservation) -> bool {
+        obs.users_logged_in == 0 && obs.cpu_load < self.max_load
+    }
+
+    fn name(&self) -> &'static str {
+        "vacant-and-quiet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nobody_logged_in_tracks_logins_only() {
+        let p = NobodyLoggedIn;
+        assert!(p.is_idle(&OwnerObservation::vacant()));
+        assert!(!p.is_idle(&OwnerObservation::occupied()));
+        // Load does not matter.
+        assert!(p.is_idle(&OwnerObservation {
+            users_logged_in: 0,
+            cpu_load: 5.0
+        }));
+    }
+
+    #[test]
+    fn load_threshold_ignores_logins() {
+        let p = LoadBelowThreshold { max_load: 0.3 };
+        assert!(p.is_idle(&OwnerObservation {
+            users_logged_in: 3,
+            cpu_load: 0.1
+        }));
+        assert!(!p.is_idle(&OwnerObservation {
+            users_logged_in: 0,
+            cpu_load: 0.9
+        }));
+    }
+
+    #[test]
+    fn vacant_and_quiet_requires_both() {
+        let p = VacantAndQuiet { max_load: 0.3 };
+        assert!(p.is_idle(&OwnerObservation::vacant()));
+        assert!(!p.is_idle(&OwnerObservation {
+            users_logged_in: 1,
+            cpu_load: 0.0
+        }));
+        assert!(!p.is_idle(&OwnerObservation {
+            users_logged_in: 0,
+            cpu_load: 0.5
+        }));
+    }
+
+    #[test]
+    fn policies_have_names() {
+        assert_eq!(NobodyLoggedIn.name(), "nobody-logged-in");
+        assert_eq!(
+            LoadBelowThreshold { max_load: 0.5 }.name(),
+            "load-below-threshold"
+        );
+        assert_eq!(VacantAndQuiet { max_load: 0.5 }.name(), "vacant-and-quiet");
+    }
+}

@@ -1,0 +1,401 @@
+//! The PhishJobManager: the per-workstation daemon.
+//!
+//! "The PhishJobManager, a background daemon, resides on every workstation
+//! ... and tries to obtain a job from the PhishJobQ when the workstation
+//! becomes idle. ... While users are logged in, the PhishJobManager checks
+//! every five minutes to see if they have logged out. ... If the PhishJobQ
+//! responds negatively ... the PhishJobManager continues to request a job
+//! every thirty seconds. ... In the meantime, the PhishJobManager checks
+//! every two seconds to see if anyone has logged in. If so, it terminates
+//! the worker process." (§3)
+//!
+//! The manager is a pure, clock-driven state machine: callers feed it
+//! owner observations and JobQ replies; it emits actions. That makes every
+//! timing rule unit-testable and lets the discrete-event simulator drive
+//! thousands of managers deterministically.
+
+use phish_net::time::{Nanos, SECOND};
+
+use crate::idleness::{IdlenessPolicy, OwnerObservation};
+use crate::jobq::JobAssignment;
+
+/// "While users are logged in, the PhishJobManager checks every five
+/// minutes to see if they have logged out."
+pub const OWNER_POLL_WHILE_BUSY: Nanos = 300 * SECOND;
+
+/// "...continues to request a job every thirty seconds until it gets a job."
+pub const JOB_REQUEST_RETRY: Nanos = 30 * SECOND;
+
+/// "...the PhishJobManager checks every two seconds to see if anyone has
+/// logged in."
+pub const OWNER_POLL_WHILE_RUNNING: Nanos = 2 * SECOND;
+
+/// The manager's polling cadences. Defaults are the paper's; threaded
+/// test deployments scale them down to milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cadences {
+    /// Owner poll period while the owner is using the machine.
+    pub owner_poll_busy: Nanos,
+    /// Job-request retry period while hunting for work.
+    pub job_retry: Nanos,
+    /// Owner poll period while a worker is running.
+    pub owner_poll_running: Nanos,
+}
+
+impl Default for Cadences {
+    fn default() -> Self {
+        Self {
+            owner_poll_busy: OWNER_POLL_WHILE_BUSY,
+            job_retry: JOB_REQUEST_RETRY,
+            owner_poll_running: OWNER_POLL_WHILE_RUNNING,
+        }
+    }
+}
+
+impl Cadences {
+    /// The paper's cadences divided by `factor` — for real-time test
+    /// deployments that cannot wait five minutes for an owner poll.
+    pub fn scaled_down(factor: u64) -> Self {
+        let d = Self::default();
+        Self {
+            owner_poll_busy: (d.owner_poll_busy / factor).max(1),
+            job_retry: (d.job_retry / factor).max(1),
+            owner_poll_running: (d.owner_poll_running / factor).max(1),
+        }
+    }
+}
+
+/// What the manager wants done right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerAction {
+    /// Send a job request to the PhishJobQ.
+    RequestJob,
+    /// Start a worker process participating in this assignment.
+    StartWorker(JobAssignment),
+    /// Terminate the running worker.
+    KillWorker(KillReason),
+}
+
+/// Why a worker is being killed or has exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillReason {
+    /// The owner logged back in / the machine stopped being idle.
+    OwnerReturned,
+    /// The macro scheduler preempted the job for a higher-priority one.
+    Preempted,
+}
+
+/// Why a worker exited on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The parallel job terminated.
+    JobFinished,
+    /// The worker retired: parallelism in the job shrank.
+    ParallelismShrank,
+    /// The worker process crashed.
+    Crashed,
+}
+
+/// Manager state (exposed for tests and fleet statistics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerState {
+    /// Owner is using the machine; polling every 5 minutes.
+    OwnerActive,
+    /// Machine idle, asking the JobQ for work every 30 seconds.
+    RequestingJob,
+    /// A request is in flight.
+    AwaitingReply,
+    /// A worker process is participating in a job.
+    Participating(JobAssignment),
+}
+
+/// The per-workstation daemon state machine.
+pub struct JobManager {
+    policy: Box<dyn IdlenessPolicy>,
+    state: ManagerState,
+    /// Next time the current state's timer fires.
+    next_timer: Nanos,
+    cadences: Cadences,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("state", &self.state)
+            .field("next_timer", &self.next_timer)
+            .finish()
+    }
+}
+
+impl JobManager {
+    /// A manager whose owner is currently using the machine; first owner
+    /// check at `now` + 5 min.
+    pub fn new(policy: Box<dyn IdlenessPolicy>, now: Nanos) -> Self {
+        Self::with_cadences(policy, now, Cadences::default())
+    }
+
+    /// A manager with custom polling cadences (the paper's are the
+    /// default; see [`Cadences::scaled_down`] for fast test deployments).
+    pub fn with_cadences(policy: Box<dyn IdlenessPolicy>, now: Nanos, cadences: Cadences) -> Self {
+        Self {
+            policy,
+            state: ManagerState::OwnerActive,
+            next_timer: now + cadences.owner_poll_busy,
+            cadences,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &ManagerState {
+        &self.state
+    }
+
+    /// When the manager next needs a `tick` (simulators schedule exactly
+    /// this; threaded drivers may tick more often, harmlessly).
+    pub fn next_timer(&self) -> Nanos {
+        self.next_timer
+    }
+
+    /// Clock tick with a fresh owner observation. Returns the actions to
+    /// perform. Ticks before `next_timer` are cheap no-ops except that an
+    /// owner return while participating is always honoured at the 2-second
+    /// cadence.
+    pub fn tick(&mut self, now: Nanos, obs: &OwnerObservation) -> Vec<ManagerAction> {
+        if now < self.next_timer {
+            return Vec::new();
+        }
+        match &self.state {
+            ManagerState::OwnerActive => {
+                if self.policy.is_idle(obs) {
+                    self.state = ManagerState::AwaitingReply;
+                    // The retry timer guards against a lost reply.
+                    self.next_timer = now + self.cadences.job_retry;
+                    vec![ManagerAction::RequestJob]
+                } else {
+                    self.next_timer = now + self.cadences.owner_poll_busy;
+                    Vec::new()
+                }
+            }
+            ManagerState::RequestingJob | ManagerState::AwaitingReply => {
+                if !self.policy.is_idle(obs) {
+                    // Owner came back before we ever got work.
+                    self.state = ManagerState::OwnerActive;
+                    self.next_timer = now + self.cadences.owner_poll_busy;
+                    Vec::new()
+                } else {
+                    self.state = ManagerState::AwaitingReply;
+                    self.next_timer = now + self.cadences.job_retry;
+                    vec![ManagerAction::RequestJob]
+                }
+            }
+            ManagerState::Participating(_) => {
+                if self.policy.is_idle(obs) {
+                    self.next_timer = now + self.cadences.owner_poll_running;
+                    Vec::new()
+                } else {
+                    self.state = ManagerState::OwnerActive;
+                    self.next_timer = now + self.cadences.owner_poll_busy;
+                    vec![ManagerAction::KillWorker(KillReason::OwnerReturned)]
+                }
+            }
+        }
+    }
+
+    /// The JobQ's reply to our request.
+    pub fn on_job_reply(&mut self, now: Nanos, reply: Option<JobAssignment>) -> Vec<ManagerAction> {
+        debug_assert!(
+            matches!(self.state, ManagerState::AwaitingReply),
+            "unsolicited job reply in state {:?}",
+            self.state
+        );
+        match reply {
+            Some(assignment) => {
+                self.state = ManagerState::Participating(assignment.clone());
+                self.next_timer = now + self.cadences.owner_poll_running;
+                vec![ManagerAction::StartWorker(assignment)]
+            }
+            None => {
+                self.state = ManagerState::RequestingJob;
+                self.next_timer = now + self.cadences.job_retry;
+                Vec::new()
+            }
+        }
+    }
+
+    /// The worker process exited on its own. The workstation goes straight
+    /// back to hunting for a job ("the macro-level scheduler accommodates
+    /// this time-varying parallelism by reassigning the freed workstations
+    /// to other jobs").
+    pub fn on_worker_exit(&mut self, now: Nanos, _reason: ExitReason) -> Vec<ManagerAction> {
+        debug_assert!(
+            matches!(self.state, ManagerState::Participating(_)),
+            "worker exit without a worker in state {:?}",
+            self.state
+        );
+        self.state = ManagerState::AwaitingReply;
+        self.next_timer = now + self.cadences.job_retry;
+        vec![ManagerAction::RequestJob]
+    }
+
+    /// The macro scheduler preempts the current job for `reason`
+    /// (priority). Emits the kill; the caller should then deliver the new
+    /// assignment via [`JobManager::on_job_reply`].
+    pub fn preempt(&mut self, now: Nanos) -> Vec<ManagerAction> {
+        debug_assert!(matches!(self.state, ManagerState::Participating(_)));
+        self.state = ManagerState::AwaitingReply;
+        self.next_timer = now + self.cadences.job_retry;
+        vec![
+            ManagerAction::KillWorker(KillReason::Preempted),
+            ManagerAction::RequestJob,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idleness::NobodyLoggedIn;
+    use crate::jobq::JobId;
+
+    fn manager() -> JobManager {
+        JobManager::new(Box::new(NobodyLoggedIn), 0)
+    }
+
+    fn assignment() -> JobAssignment {
+        JobAssignment {
+            job: JobId(1),
+            name: "pfold".into(),
+        }
+    }
+
+    const IDLE: OwnerObservation = OwnerObservation {
+        users_logged_in: 0,
+        cpu_load: 0.0,
+    };
+    const BUSY: OwnerObservation = OwnerObservation {
+        users_logged_in: 1,
+        cpu_load: 0.4,
+    };
+
+    #[test]
+    fn busy_owner_polled_every_five_minutes() {
+        let mut m = manager();
+        assert!(m.tick(10 * SECOND, &BUSY).is_empty(), "before timer: no-op");
+        assert!(m.tick(OWNER_POLL_WHILE_BUSY, &BUSY).is_empty());
+        assert_eq!(m.next_timer(), 2 * OWNER_POLL_WHILE_BUSY);
+        assert_eq!(*m.state(), ManagerState::OwnerActive);
+    }
+
+    #[test]
+    fn idle_owner_triggers_job_request() {
+        let mut m = manager();
+        let actions = m.tick(OWNER_POLL_WHILE_BUSY, &IDLE);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+        assert_eq!(*m.state(), ManagerState::AwaitingReply);
+    }
+
+    #[test]
+    fn negative_reply_retries_every_thirty_seconds() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        assert!(m.on_job_reply(t0, None).is_empty());
+        assert_eq!(*m.state(), ManagerState::RequestingJob);
+        // Nothing until 30s pass.
+        assert!(m.tick(t0 + JOB_REQUEST_RETRY - 1, &IDLE).is_empty());
+        let actions = m.tick(t0 + JOB_REQUEST_RETRY, &IDLE);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+    }
+
+    #[test]
+    fn positive_reply_starts_worker() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        let actions = m.on_job_reply(t0, Some(assignment()));
+        assert_eq!(actions, vec![ManagerAction::StartWorker(assignment())]);
+        assert!(matches!(m.state(), ManagerState::Participating(_)));
+        assert_eq!(m.next_timer(), t0 + OWNER_POLL_WHILE_RUNNING);
+    }
+
+    #[test]
+    fn owner_return_kills_worker_within_two_seconds() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        m.on_job_reply(t0, Some(assignment()));
+        // Still idle at the first 2s check.
+        assert!(m.tick(t0 + OWNER_POLL_WHILE_RUNNING, &IDLE).is_empty());
+        // Owner logs in; next 2s check kills the worker.
+        let actions = m.tick(t0 + 2 * OWNER_POLL_WHILE_RUNNING, &BUSY);
+        assert_eq!(
+            actions,
+            vec![ManagerAction::KillWorker(KillReason::OwnerReturned)]
+        );
+        assert_eq!(*m.state(), ManagerState::OwnerActive);
+    }
+
+    #[test]
+    fn worker_exit_rerequests_immediately() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        m.on_job_reply(t0, Some(assignment()));
+        let actions = m.on_worker_exit(t0 + SECOND, ExitReason::ParallelismShrank);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+        assert_eq!(*m.state(), ManagerState::AwaitingReply);
+    }
+
+    #[test]
+    fn owner_return_while_requesting_goes_quiet() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        m.on_job_reply(t0, None);
+        let actions = m.tick(t0 + JOB_REQUEST_RETRY, &BUSY);
+        assert!(actions.is_empty());
+        assert_eq!(*m.state(), ManagerState::OwnerActive);
+        assert_eq!(m.next_timer(), t0 + JOB_REQUEST_RETRY + OWNER_POLL_WHILE_BUSY);
+    }
+
+    #[test]
+    fn preemption_kills_then_rerequests() {
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        m.on_job_reply(t0, Some(assignment()));
+        let actions = m.preempt(t0 + SECOND);
+        assert_eq!(
+            actions,
+            vec![
+                ManagerAction::KillWorker(KillReason::Preempted),
+                ManagerAction::RequestJob,
+            ]
+        );
+    }
+
+    #[test]
+    fn scaled_cadences_shrink_all_timers() {
+        let c = Cadences::scaled_down(1000);
+        assert_eq!(c.owner_poll_busy, OWNER_POLL_WHILE_BUSY / 1000);
+        assert_eq!(c.job_retry, JOB_REQUEST_RETRY / 1000);
+        assert_eq!(c.owner_poll_running, OWNER_POLL_WHILE_RUNNING / 1000);
+        let mut m = JobManager::with_cadences(Box::new(NobodyLoggedIn), 0, c);
+        assert_eq!(m.next_timer(), c.owner_poll_busy);
+        let actions = m.tick(c.owner_poll_busy, &IDLE);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+    }
+
+    #[test]
+    fn lost_reply_recovers_via_retry_timer() {
+        // The request (or its reply) vanished on the datagram network: the
+        // 30s timer must re-issue it.
+        let mut m = manager();
+        let t0 = OWNER_POLL_WHILE_BUSY;
+        m.tick(t0, &IDLE);
+        // No on_job_reply ever arrives.
+        let actions = m.tick(t0 + JOB_REQUEST_RETRY, &IDLE);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+        assert_eq!(*m.state(), ManagerState::AwaitingReply);
+    }
+}

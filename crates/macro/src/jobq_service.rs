@@ -1,0 +1,278 @@
+//! The PhishJobQ as an actual RPC server.
+//!
+//! "The PhishJobQ, an RPC server, resides on one computer and manages the
+//! pool of parallel jobs." (§3) [`JobQService`] runs a [`JobQ`] behind a
+//! [`phish_net::RpcServer`] on its own thread; [`JobQClient`] is what a
+//! PhishJobManager (or a submitting user) holds. The request/reply bodies
+//! are small, fixed-size messages, matching the coarse-grained protocol
+//! the scalability conjecture depends on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use phish_net::{ChannelNet, NodeId, RpcClient, RpcFrame, RpcServer, SendCost, WireSized};
+
+use crate::jobq::{AssignPolicy, JobAssignment, JobId, JobQ, JobQStats, JobSpec};
+
+/// Requests a workstation (or user) sends to the JobQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobQRequest {
+    /// An idle workstation asks for a job.
+    RequestJob,
+    /// A participant left the job (exit, eviction, retirement).
+    Release(JobId),
+    /// A participant reports the job finished.
+    Complete(JobId),
+    /// A user submits a job.
+    Submit(JobSpec),
+    /// Ask for the queue's statistics.
+    Stats,
+}
+
+/// The JobQ's replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobQReply {
+    /// Assignment, or `None` when the pool is empty ("responds
+    /// negatively").
+    Assignment(Option<JobAssignment>),
+    /// Acknowledgement of release/complete.
+    Ack,
+    /// The id of a submitted job.
+    Submitted(JobId),
+    /// Queue statistics.
+    Stats(JobQStats),
+}
+
+impl WireSized for JobQRequest {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            JobQRequest::Submit(spec) => phish_net::message::HEADER_BYTES + spec.name.len() + 8,
+            _ => phish_net::message::HEADER_BYTES + 8,
+        }
+    }
+}
+
+impl WireSized for JobQReply {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            JobQReply::Assignment(Some(a)) => {
+                phish_net::message::HEADER_BYTES + a.name.len() + 8
+            }
+            _ => phish_net::message::HEADER_BYTES + 8,
+        }
+    }
+}
+
+type Frame = RpcFrame<JobQRequest, JobQReply>;
+
+/// A running JobQ server plus the endpoints its clients use.
+pub struct JobQService {
+    handle: Option<std::thread::JoinHandle<JobQ>>,
+    stop: Arc<AtomicBool>,
+    clients: Vec<RpcClient<JobQRequest, JobQReply>>,
+    server_node: NodeId,
+}
+
+impl JobQService {
+    /// Starts a JobQ (with `policy`) serving `clients` client endpoints.
+    /// The server occupies the *last* node id, clients the first `clients`
+    /// ids.
+    pub fn start(policy: AssignPolicy, clients: usize) -> Self {
+        let eps = ChannelNet::<Frame>::new(clients + 1, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let client_eps: Vec<_> = (0..clients).map(|_| it.next().expect("endpoint")).collect();
+        let server_ep = it.next().expect("server endpoint");
+        let server_node = server_ep.id();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("phish-jobq".into())
+            .spawn(move || {
+                let mut jobq = JobQ::with_policy(policy);
+                let mut server = RpcServer::new(server_ep);
+                let mut handler = |_src: NodeId, req: JobQRequest| -> JobQReply {
+                    match req {
+                        JobQRequest::RequestJob => JobQReply::Assignment(jobq.request()),
+                        JobQRequest::Release(id) => {
+                            jobq.release(id);
+                            JobQReply::Ack
+                        }
+                        JobQRequest::Complete(id) => {
+                            jobq.complete(id);
+                            JobQReply::Ack
+                        }
+                        JobQRequest::Submit(spec) => JobQReply::Submitted(jobq.submit(spec)),
+                        JobQRequest::Stats => JobQReply::Stats(jobq.stats()),
+                    }
+                };
+                server.serve_until(
+                    Duration::from_millis(1),
+                    &{
+                        let stop = stop_flag;
+                        move || stop.load(Ordering::Acquire)
+                    },
+                    &mut handler,
+                );
+                jobq
+            })
+            .expect("spawn jobq server");
+        Self {
+            handle: Some(handle),
+            stop,
+            clients: client_eps.into_iter().map(RpcClient::new).collect(),
+            server_node,
+        }
+    }
+
+    /// The server's network address.
+    pub fn server_node(&self) -> NodeId {
+        self.server_node
+    }
+
+    /// Takes client `i`'s handle (each workstation takes one).
+    pub fn take_client(&mut self, i: usize) -> JobQClient {
+        JobQClient {
+            rpc: std::mem::replace(
+                &mut self.clients[i],
+                // Replace with a dead client on a 1-node net; taking twice
+                // is a caller bug surfaced on first use.
+                RpcClient::new(
+                    ChannelNet::<Frame>::new(1, SendCost::FREE)
+                        .into_endpoints()
+                        .pop()
+                        .expect("endpoint"),
+                ),
+            ),
+            server: self.server_node,
+        }
+    }
+
+    /// Stops the server and returns the final JobQ state.
+    pub fn shutdown(mut self) -> JobQ {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("handle present")
+            .join()
+            .expect("jobq server panicked")
+    }
+}
+
+/// A workstation's handle to the remote JobQ.
+pub struct JobQClient {
+    rpc: RpcClient<JobQRequest, JobQReply>,
+    server: NodeId,
+}
+
+impl JobQClient {
+    /// "When a workstation becomes idle, it requests a job."
+    pub fn request_job(&mut self, timeout: Duration) -> Option<JobAssignment> {
+        match self.rpc.call_blocking(self.server, JobQRequest::RequestJob, timeout) {
+            Some(JobQReply::Assignment(a)) => a,
+            _ => None,
+        }
+    }
+
+    /// Reports leaving a job.
+    pub fn release(&mut self, job: JobId, timeout: Duration) -> bool {
+        matches!(
+            self.rpc
+                .call_blocking(self.server, JobQRequest::Release(job), timeout),
+            Some(JobQReply::Ack)
+        )
+    }
+
+    /// Reports job completion.
+    pub fn complete(&mut self, job: JobId, timeout: Duration) -> bool {
+        matches!(
+            self.rpc
+                .call_blocking(self.server, JobQRequest::Complete(job), timeout),
+            Some(JobQReply::Ack)
+        )
+    }
+
+    /// Submits a job.
+    pub fn submit(&mut self, spec: JobSpec, timeout: Duration) -> Option<JobId> {
+        match self
+            .rpc
+            .call_blocking(self.server, JobQRequest::Submit(spec), timeout)
+        {
+            Some(JobQReply::Submitted(id)) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Fetches queue statistics.
+    pub fn stats(&mut self, timeout: Duration) -> Option<JobQStats> {
+        match self.rpc.call_blocking(self.server, JobQRequest::Stats, timeout) {
+            Some(JobQReply::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn submit_request_complete_over_rpc() {
+        let mut svc = JobQService::start(AssignPolicy::RoundRobin, 2);
+        let mut user = svc.take_client(0);
+        let mut ws = svc.take_client(1);
+
+        let id = user.submit(JobSpec::named("pfold"), T).expect("submitted");
+        let a = ws.request_job(T).expect("assignment");
+        assert_eq!(a.job, id);
+        assert_eq!(a.name, "pfold");
+        // The job stays pooled for other workstations.
+        let again = ws.request_job(T).expect("still pooled");
+        assert_eq!(again.job, id);
+        assert!(ws.release(id, T));
+        assert!(ws.complete(id, T));
+        // Pool now empty: negative response.
+        assert!(ws.request_job(T).is_none());
+
+        let stats = user.stats(T).expect("stats");
+        assert_eq!(stats.submissions, 1);
+        assert_eq!(stats.assignments, 2);
+        assert_eq!(stats.completions, 1);
+        let final_q = svc.shutdown();
+        assert!(final_q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_workstations_share_the_pool() {
+        let n = 4;
+        let mut svc = JobQService::start(AssignPolicy::RoundRobin, n + 1);
+        let mut user = svc.take_client(n);
+        let a = user.submit(JobSpec::named("a"), T).expect("a");
+        let b = user.submit(JobSpec::named("b"), T).expect("b");
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let mut c = svc.take_client(i);
+                std::thread::spawn(move || c.request_job(T).map(|a| a.job))
+            })
+            .collect();
+        let got: Vec<JobId> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("assignment"))
+            .collect();
+        // Round-robin over two jobs: two assignments each.
+        assert_eq!(got.iter().filter(|j| **j == a).count(), 2);
+        assert_eq!(got.iter().filter(|j| **j == b).count(), 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn empty_pool_gives_negative_reply() {
+        let mut svc = JobQService::start(AssignPolicy::RoundRobin, 1);
+        let mut ws = svc.take_client(0);
+        assert!(ws.request_job(T).is_none(), "empty pool responds negatively");
+        let q = svc.shutdown();
+        assert_eq!(q.stats().refusals, 1);
+    }
+}

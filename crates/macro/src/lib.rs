@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # phish-macro — the macro-level idle-initiated scheduler
+//!
+//! The inter-application half of the paper's contribution: deciding which
+//! workstations work on which parallel jobs. Its goals (§2): space-share
+//! rather than time-share, accommodate dynamically changing parallelism,
+//! and let owners retain sovereignty over their machines.
+//!
+//! Components, mirroring §3's architecture (Figure 2):
+//!
+//! * [`jobq::JobQ`] — the central pool of parallel jobs with non-preemptive
+//!   round-robin assignment (the *PhishJobQ*).
+//! * [`jobmanager::JobManager`] — the per-workstation daemon state machine
+//!   with the paper's exact polling cadences: owner checks every 5 minutes
+//!   while busy, job-request retries every 30 seconds, owner checks every
+//!   2 seconds while a worker runs (the *PhishJobManager*).
+//! * [`idleness`] — owner-chosen idleness policies.
+//! * [`clearinghouse::Clearinghouse`] — the per-job registry, periodic
+//!   roster updates (every 2 minutes), buffered worker I/O, and the
+//!   heartbeat mechanism behind crash detection.
+//!
+//! Everything here is a pure, clock-driven state machine; the threaded
+//! harness and the discrete-event simulator drive the same code.
+
+pub mod clearinghouse;
+pub mod clearinghouse_service;
+pub mod deployment;
+pub mod idleness;
+pub mod jobmanager;
+pub mod jobq;
+pub mod jobq_service;
+
+pub use clearinghouse::{
+    Clearinghouse, ClearinghouseStats, Participant, Roster, HEARTBEAT_INTERVAL, HEARTBEAT_MISSES,
+    UPDATE_INTERVAL,
+};
+pub use clearinghouse_service::{
+    ChReply, ChRequest, ClearinghouseClient, ClearinghouseService,
+};
+pub use deployment::{
+    Deployment, DeploymentConfig, JobOutcomeStats, OwnerScript, ParticipantExit, WorkerBody,
+};
+pub use idleness::{
+    IdlenessPolicy, LoadBelowThreshold, NobodyLoggedIn, OwnerObservation, VacantAndQuiet,
+};
+pub use jobmanager::{
+    Cadences, ExitReason, JobManager, KillReason, ManagerAction, ManagerState,
+    JOB_REQUEST_RETRY, OWNER_POLL_WHILE_BUSY, OWNER_POLL_WHILE_RUNNING,
+};
+pub use jobq::{AssignPolicy, JobAssignment, JobId, JobQ, JobQStats, JobSpec};
+pub use jobq_service::{JobQClient, JobQReply, JobQRequest, JobQService};

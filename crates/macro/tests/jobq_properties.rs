@@ -1,0 +1,134 @@
+//! Property tests of the PhishJobQ's invariants under arbitrary
+//! request/release/complete interleavings.
+
+use proptest::prelude::*;
+
+use phish_macro::{AssignPolicy, JobId, JobQ, JobSpec};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { priority: u8, cap: Option<u32> },
+    Request,
+    Release(usize),
+    Complete(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (any::<u8>(), prop::option::of(1u32..6)).prop_map(|(priority, cap)| Op::Submit {
+                priority,
+                cap,
+            }),
+            4 => Just(Op::Request),
+            1 => any::<usize>().prop_map(Op::Release),
+            1 => any::<usize>().prop_map(Op::Complete),
+        ],
+        0..120,
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = AssignPolicy> {
+    prop_oneof![
+        Just(AssignPolicy::RoundRobin),
+        Just(AssignPolicy::LeastLoaded),
+        Just(AssignPolicy::FirstComeFirstServed),
+        Just(AssignPolicy::MostDemand),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn capacity_and_priority_invariants(ops in ops(), policy in policy_strategy()) {
+        let mut q = JobQ::with_policy(policy);
+        let mut submitted: Vec<(JobId, u8, Option<u32>)> = Vec::new();
+        let mut completed: Vec<JobId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Submit { priority, cap } => {
+                    let id = q.submit(JobSpec {
+                        name: format!("j{}", submitted.len()),
+                        priority,
+                        max_participants: cap,
+                    });
+                    submitted.push((id, priority, cap));
+                }
+                Op::Request => {
+                    if let Some(a) = q.request() {
+                        // Assignment must be a live, submitted job.
+                        let (_, prio, cap) = submitted
+                            .iter()
+                            .find(|(id, _, _)| *id == a.job)
+                            .expect("assigned job was never submitted");
+                        prop_assert!(!completed.contains(&a.job), "assigned a completed job");
+                        // Capacity respected.
+                        if let Some(cap) = cap {
+                            prop_assert!(
+                                q.participants(a.job).unwrap_or(0) <= *cap,
+                                "capacity exceeded"
+                            );
+                        }
+                        // Priority: no live job with capacity has strictly
+                        // higher priority than the assigned one.
+                        for (id, p, c) in &submitted {
+                            if completed.contains(id) {
+                                continue;
+                            }
+                            let has_room = c.is_none_or(|cap| {
+                                q.participants(*id).unwrap_or(0) < cap
+                            });
+                            // The assigned job just gained a participant; a
+                            // strictly-higher-priority job with room would
+                            // have been chosen instead.
+                            if has_room && *id != a.job {
+                                prop_assert!(
+                                    p <= prio,
+                                    "priority inversion: assigned {prio}, available {p}"
+                                );
+                            }
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if !submitted.is_empty() {
+                        let (id, _, _) = submitted[i % submitted.len()];
+                        let before = q.participants(id);
+                        q.release(id);
+                        if let (Some(b), Some(after)) = (before, q.participants(id)) {
+                            prop_assert!(after <= b, "release must not add participants");
+                        }
+                    }
+                }
+                Op::Complete(i) => {
+                    if !submitted.is_empty() {
+                        let (id, _, _) = submitted[i % submitted.len()];
+                        q.complete(id);
+                        if !completed.contains(&id) {
+                            completed.push(id);
+                        }
+                        prop_assert!(q.participants(id).is_none(), "completed job lingers");
+                    }
+                }
+            }
+        }
+        // Ledger consistency.
+        let live = submitted.iter().filter(|(id, _, _)| !completed.contains(id)).count();
+        prop_assert_eq!(q.len(), live, "pool size must equal live submissions");
+    }
+
+    #[test]
+    fn round_robin_is_fair_over_equal_jobs(n_jobs in 1usize..8, rounds in 1usize..10) {
+        let mut q = JobQ::new();
+        let ids: Vec<JobId> = (0..n_jobs)
+            .map(|i| q.submit(JobSpec::named(format!("j{i}"))))
+            .collect();
+        let mut counts = vec![0u32; n_jobs];
+        for _ in 0..n_jobs * rounds {
+            let a = q.request().expect("jobs available");
+            let idx = ids.iter().position(|id| *id == a.job).expect("known job");
+            counts[idx] += 1;
+        }
+        // Perfect fairness for equal-priority uncapped jobs.
+        prop_assert!(counts.iter().all(|c| *c == rounds as u32), "{counts:?}");
+    }
+}

@@ -1,0 +1,324 @@
+//! Reliable, ordered in-process transport.
+//!
+//! `ChannelNet` builds a fully-connected "network" of `n` endpoints over
+//! crossbeam MPSC channels. Delivery is reliable and per-sender ordered —
+//! this is the baseline transport used by the threaded engine, with the
+//! workstation-LAN cost structure injected as a configurable per-send
+//! software overhead (the paper stresses that send overhead on a
+//! workstation is ~100× that of a supercomputer interconnect; varying
+//! [`SendCost`] reproduces that axis).
+//!
+//! For raw-UDP semantics, wrap endpoints in [`crate::lossy::LossyEndpoint`]
+//! and recover delivery with [`crate::reliable::ReliableEndpoint`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::message::{Envelope, NodeId, WireSized};
+use crate::metrics::NetMetrics;
+use crate::time::Nanos;
+
+/// Per-message cost model applied on the sending side.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendCost {
+    /// Software overhead busy-spun on every send, in nanoseconds.
+    ///
+    /// Zero (the default) sends at channel speed. A few microseconds
+    /// emulates a tuned 1990s LAN stack; tens of microseconds emulates the
+    /// untuned UDP/IP path the paper used.
+    pub overhead: Nanos,
+}
+
+impl SendCost {
+    /// No injected overhead (supercomputer-interconnect-like).
+    pub const FREE: SendCost = SendCost { overhead: 0 };
+
+    /// A cost with the given software overhead per send.
+    pub fn with_overhead(overhead: Nanos) -> Self {
+        Self { overhead }
+    }
+
+    /// Busy-spins for the configured overhead; called once per send.
+    /// Public so higher layers (e.g. worker mailboxes) can charge the same
+    /// cost to messages that bypass a [`ChannelNet`].
+    #[inline]
+    pub fn pay(&self) {
+        if self.overhead > 0 {
+            let start = std::time::Instant::now();
+            let limit = Duration::from_nanos(self.overhead);
+            while start.elapsed() < limit {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Factory for a fully-connected set of [`Endpoint`]s.
+#[derive(Debug)]
+pub struct ChannelNet<M> {
+    endpoints: Vec<Endpoint<M>>,
+    metrics: Arc<NetMetrics>,
+}
+
+impl<M: Send> ChannelNet<M> {
+    /// Builds a network of `n` endpoints sharing one metrics block, all
+    /// using `cost` on sends.
+    pub fn new(n: usize, cost: SendCost) -> Self {
+        let metrics = Arc::new(NetMetrics::new());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint {
+                id: NodeId(i as u32),
+                senders: Arc::clone(&senders),
+                receiver: rx,
+                metrics: Arc::clone(&metrics),
+                cost,
+            })
+            .collect();
+        Self { endpoints, metrics }
+    }
+
+    /// The shared traffic counters.
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Consumes the net, yielding one endpoint per node (index = node id).
+    pub fn into_endpoints(self) -> Vec<Endpoint<M>> {
+        self.endpoints
+    }
+}
+
+/// One node's attachment to a [`ChannelNet`].
+///
+/// An endpoint can send to any node (including itself) and receives messages
+/// addressed to it. Sending never blocks (channels are unbounded); receiving
+/// is by non-blocking poll, matching the split-phase style of the Phish
+/// runtime, plus a blocking variant for daemon-style loops.
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    id: NodeId,
+    senders: Arc<Vec<Sender<Envelope<M>>>>,
+    receiver: Receiver<Envelope<M>>,
+    metrics: Arc<NetMetrics>,
+    cost: SendCost,
+}
+
+impl<M: Send> Endpoint<M> {
+    /// This endpoint's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes on the network.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared traffic counters.
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
+    /// Creates an extra sending handle addressed *from* this node; useful
+    /// when a node runs sender and receiver on different threads.
+    pub fn sender(&self) -> EndpointSender<M> {
+        EndpointSender {
+            id: self.id,
+            senders: Arc::clone(&self.senders),
+            metrics: Arc::clone(&self.metrics),
+            cost: self.cost,
+        }
+    }
+
+    /// Sends `body` to `dst`, paying the configured software overhead.
+    ///
+    /// Returns `false` if the destination endpoint has been dropped (a
+    /// "crashed workstation"): datagrams to dead hosts vanish silently, and
+    /// callers that care use the reliability layer on top.
+    pub fn send(&self, dst: NodeId, body: M) -> bool
+    where
+        M: WireSized,
+    {
+        send_impl(&self.senders, &self.metrics, self.cost, self.id, dst, body)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.receiver.try_recv() {
+            Ok(env) => {
+                self.metrics.record_delivery();
+                Some(env)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or if all senders
+    /// are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => {
+                self.metrics.record_delivery();
+                Some(env)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Number of messages waiting in this endpoint's queue.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+/// Send-only handle split off an [`Endpoint`].
+#[derive(Debug, Clone)]
+pub struct EndpointSender<M> {
+    id: NodeId,
+    senders: Arc<Vec<Sender<Envelope<M>>>>,
+    metrics: Arc<NetMetrics>,
+    cost: SendCost,
+}
+
+impl<M: Send> EndpointSender<M> {
+    /// The node this handle sends as.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `body` to `dst`; see [`Endpoint::send`].
+    pub fn send(&self, dst: NodeId, body: M) -> bool
+    where
+        M: WireSized,
+    {
+        send_impl(&self.senders, &self.metrics, self.cost, self.id, dst, body)
+    }
+}
+
+fn send_impl<M: Send + WireSized>(
+    senders: &[Sender<Envelope<M>>],
+    metrics: &NetMetrics,
+    cost: SendCost,
+    src: NodeId,
+    dst: NodeId,
+    body: M,
+) -> bool {
+    cost.pay();
+    metrics.record_send(body.wire_bytes());
+    let env = Envelope {
+        src,
+        dst,
+        seq: 0,
+        body,
+    };
+    senders[dst.index()].send(env).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let eps = ChannelNet::<u64>::new(3, SendCost::FREE).into_endpoints();
+        assert!(eps[0].send(NodeId(2), 42));
+        let env = eps[2].try_recv().expect("message should arrive");
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.dst, NodeId(2));
+        assert_eq!(env.body, 42);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let eps = ChannelNet::<u64>::new(1, SendCost::FREE).into_endpoints();
+        assert!(eps[0].send(NodeId(0), 7));
+        assert_eq!(eps[0].try_recv().unwrap().body, 7);
+    }
+
+    #[test]
+    fn per_sender_ordering_is_preserved() {
+        let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        for i in 0..100 {
+            eps[0].send(NodeId(1), i);
+        }
+        for i in 0..100 {
+            assert_eq!(eps[1].try_recv().unwrap().body, i);
+        }
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries() {
+        let net = ChannelNet::<u64>::new(2, SendCost::FREE);
+        let m = net.metrics();
+        let eps = net.into_endpoints();
+        eps[0].send(NodeId(1), 1);
+        eps[0].send(NodeId(1), 2);
+        eps[1].try_recv();
+        let s = m.snapshot();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_delivered, 1);
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_reports_failure() {
+        let mut eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        let dead = eps.remove(1);
+        drop(dead);
+        assert!(!eps[0].send(NodeId(1), 5));
+    }
+
+    #[test]
+    fn overhead_slows_sends() {
+        // 200µs of overhead across 20 sends must take at least 4ms total.
+        let eps = ChannelNet::<u64>::new(2, SendCost::with_overhead(200_000)).into_endpoints();
+        let start = std::time::Instant::now();
+        for i in 0..20 {
+            eps[0].send(NodeId(1), i);
+        }
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn cross_thread_send_receive() {
+        let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        let t = std::thread::spawn(move || {
+            for i in 0..1000 {
+                a.send(NodeId(1), i);
+            }
+        });
+        let mut got = 0;
+        while got < 1000 {
+            if let Some(env) = b.recv_timeout(Duration::from_secs(5)) {
+                assert_eq!(env.body, got);
+                got += 1;
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn split_sender_handle() {
+        let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        let tx = eps[0].sender();
+        assert_eq!(tx.id(), NodeId(0));
+        tx.send(NodeId(1), 9);
+        assert_eq!(eps[1].try_recv().unwrap().body, 9);
+        assert_eq!(eps[1].pending(), 0);
+    }
+}

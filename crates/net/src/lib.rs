@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # phish-net — simulated workstation-network transports
+//!
+//! The original Phish system ran on a 1994 Ethernet LAN and implemented all
+//! of its communication as *split-phase* operations on top of UDP/IP
+//! datagrams: the runtime system sends a request and keeps scheduling work
+//! while the reply is in flight, and it tolerates the loss, duplication, and
+//! reordering that raw datagrams exhibit.
+//!
+//! This crate provides the equivalent substrate for an in-process
+//! reproduction:
+//!
+//! * [`channel`] — a reliable, ordered in-process transport built on
+//!   crossbeam channels, with a configurable per-message **software
+//!   overhead** so that the cost structure of a workstation LAN (where
+//!   sending a message costs two orders of magnitude more than on a
+//!   supercomputer interconnect) can be injected and varied.
+//! * [`lossy`] — a deterministic fault-injecting wrapper that drops,
+//!   duplicates, and reorders messages under a seeded RNG, standing in for
+//!   raw UDP behaviour.
+//! * [`reliable`] — an acknowledgement/retransmission/deduplication layer
+//!   that recovers exactly-once delivery on top of the lossy transport,
+//!   mirroring what the Phish runtime layered over UDP.
+//! * [`splitphase`] — request/reply correlation so callers can issue an RPC
+//!   and continue working until the reply arrives.
+//! * [`metrics`] — message and byte counters; Table 2 of the paper reports
+//!   "messages sent" and these counters are its source of truth.
+//! * [`time`] — a nanosecond clock abstraction with both a real
+//!   (monotonic) implementation and a manually-advanced one for
+//!   deterministic tests.
+//!
+//! Everything is generic over the message type `M` rather than forcing a
+//! byte-level wire format: the scheduling algorithms under study observe
+//! message *counts* and *costs*, not encodings. Types that want to
+//! participate in bandwidth modelling implement [`message::WireSized`].
+
+pub mod channel;
+pub mod delayed;
+pub mod lossy;
+pub mod message;
+pub mod metrics;
+pub mod reliable;
+pub mod rpc;
+pub mod splitphase;
+pub mod time;
+
+pub use channel::{ChannelNet, Endpoint, SendCost};
+pub use delayed::DelayedNet;
+pub use lossy::{LossyConfig, LossyEndpoint};
+pub use message::{Envelope, NodeId, WireSized};
+pub use metrics::NetMetrics;
+pub use reliable::{ReliableConfig, ReliableEndpoint};
+pub use rpc::{RpcClient, RpcFrame, RpcServer};
+pub use splitphase::{RequestId, SplitPhase};
+pub use time::{Clock, ManualClock, Nanos, RealClock};

@@ -1,0 +1,266 @@
+//! Deterministic datagram fault injection.
+//!
+//! Phish ran over raw UDP/IP, so its runtime had to survive loss,
+//! duplication, and reordering. [`LossyEndpoint`] wraps a reliable
+//! [`Endpoint`] and injects exactly those faults under a seeded RNG, so a
+//! test can replay one adversarial schedule forever.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::Endpoint;
+use crate::message::{Envelope, NodeId, WireSized};
+
+/// Fault probabilities for a lossy link. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyConfig {
+    /// Probability a sent message is silently discarded.
+    pub drop_prob: f64,
+    /// Probability a sent message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a sent message is delayed past the next send (pairwise
+    /// reordering).
+    pub reorder_prob: f64,
+    /// RNG seed; equal seeds give equal fault schedules.
+    pub seed: u64,
+}
+
+impl LossyConfig {
+    /// A perfectly behaved link (no faults).
+    pub fn perfect(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// A nasty link: 10% loss, 5% duplication, 10% reordering.
+    pub fn nasty(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.10,
+            dup_prob: 0.05,
+            reorder_prob: 0.10,
+            seed,
+        }
+    }
+}
+
+/// An [`Endpoint`] whose *sends* are subjected to loss, duplication, and
+/// reordering. Receives pass through unchanged.
+#[derive(Debug)]
+pub struct LossyEndpoint<M> {
+    inner: Endpoint<M>,
+    cfg: LossyConfig,
+    rng: SmallRng,
+    /// Messages held back by the reordering fault, flushed after the next
+    /// successful send (or explicitly).
+    delayed: Vec<(NodeId, M)>,
+}
+
+impl<M: Send + Clone + WireSized> LossyEndpoint<M> {
+    /// Wraps `inner` with the fault schedule drawn from `cfg.seed`.
+    pub fn new(inner: Endpoint<M>, cfg: LossyConfig) -> Self {
+        let salt = inner_id_salt(&inner);
+        Self {
+            inner,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ salt),
+            cfg,
+            delayed: Vec::new(),
+        }
+    }
+
+    /// The wrapped endpoint's address.
+    pub fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    /// Number of nodes on the underlying network.
+    pub fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    /// Sends with fault injection. Returns `true` if the message was
+    /// *accepted* (it may still have been dropped by the simulated link —
+    /// that is the point).
+    pub fn send(&mut self, dst: NodeId, body: M) -> bool {
+        if self.rng.gen_bool(self.cfg.drop_prob) {
+            self.inner.metrics().record_drop();
+            // The dropped message still unblocks anything held for
+            // reordering, as a real later datagram would.
+            self.flush_delayed();
+            return true;
+        }
+        if self.rng.gen_bool(self.cfg.reorder_prob) {
+            self.delayed.push((dst, body));
+            return true;
+        }
+        let dup = self.rng.gen_bool(self.cfg.dup_prob);
+        let ok = if dup {
+            self.inner.metrics().record_duplicate();
+            let first = self.inner.send(dst, body.clone());
+            self.inner.send(dst, body) || first
+        } else {
+            self.inner.send(dst, body)
+        };
+        self.flush_delayed();
+        ok
+    }
+
+    /// Delivers any messages still held back by the reordering fault.
+    /// Call when a flow goes quiet to avoid stranding the final datagram.
+    pub fn flush_delayed(&mut self) {
+        for (dst, body) in std::mem::take(&mut self.delayed) {
+            self.inner.send(dst, body);
+        }
+    }
+
+    /// Non-blocking receive (no receive-side faults).
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.inner.try_recv()
+    }
+
+    /// Access to the wrapped endpoint.
+    pub fn inner(&self) -> &Endpoint<M> {
+        &self.inner
+    }
+}
+
+fn inner_id_salt<M>(ep: &Endpoint<M>) -> u64
+where
+    M: Send,
+{
+    // Distinct endpoints with the same user seed should see distinct fault
+    // schedules, like distinct hosts on a real LAN.
+    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(ep.id().0) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelNet, SendCost};
+
+    fn pair(cfg: LossyConfig) -> (LossyEndpoint<u64>, Endpoint<u64>) {
+        let mut eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        let rx = eps.pop().unwrap();
+        let tx = LossyEndpoint::new(eps.pop().unwrap(), cfg);
+        (tx, rx)
+    }
+
+    fn drain(rx: &Endpoint<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(env) = rx.try_recv() {
+            out.push(env.body);
+        }
+        out
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything_in_order() {
+        let (mut tx, rx) = pair(LossyConfig::perfect(1));
+        for i in 0..50 {
+            tx.send(NodeId(1), i);
+        }
+        tx.flush_delayed();
+        assert_eq!(drain(&rx), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drops_lose_messages() {
+        let cfg = LossyConfig {
+            drop_prob: 0.5,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            seed: 7,
+        };
+        let (mut tx, rx) = pair(cfg);
+        for i in 0..1000 {
+            tx.send(NodeId(1), i);
+        }
+        tx.flush_delayed();
+        let got = drain(&rx);
+        assert!(got.len() < 1000, "some messages must be lost");
+        assert!(got.len() > 200, "not everything should be lost");
+        // Survivors stay in order on this single flow.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicates_appear() {
+        let cfg = LossyConfig {
+            drop_prob: 0.0,
+            dup_prob: 0.3,
+            reorder_prob: 0.0,
+            seed: 11,
+        };
+        let (mut tx, rx) = pair(cfg);
+        for i in 0..500 {
+            tx.send(NodeId(1), i);
+        }
+        tx.flush_delayed();
+        let got = drain(&rx);
+        assert!(got.len() > 500, "duplicates must inflate the count");
+        // Every original message is still present.
+        let mut uniq = got.clone();
+        uniq.dedup();
+        assert_eq!(uniq, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reordering_swaps_neighbours() {
+        let cfg = LossyConfig {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.3,
+            seed: 13,
+        };
+        let (mut tx, rx) = pair(cfg);
+        for i in 0..500 {
+            tx.send(NodeId(1), i);
+        }
+        tx.flush_delayed();
+        let got = drain(&rx);
+        assert_eq!(got.len(), 500, "reordering must not lose messages");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<_>>());
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "at least one inversion expected at 30% reorder"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let run = || {
+            let (mut tx, rx) = pair(LossyConfig::nasty(99));
+            for i in 0..300 {
+                tx.send(NodeId(1), i);
+            }
+            tx.flush_delayed();
+            drain(&rx)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_record_faults() {
+        let cfg = LossyConfig {
+            drop_prob: 0.5,
+            dup_prob: 0.2,
+            reorder_prob: 0.0,
+            seed: 3,
+        };
+        let mut eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
+        let _rx = eps.pop().unwrap();
+        let m = std::sync::Arc::clone(eps[0].metrics());
+        let mut tx = LossyEndpoint::new(eps.pop().unwrap(), cfg);
+        for i in 0..1000 {
+            tx.send(NodeId(1), i);
+        }
+        let s = m.snapshot();
+        assert!(s.messages_dropped > 300);
+        assert!(s.messages_duplicated > 30);
+    }
+}

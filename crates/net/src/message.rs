@@ -1,0 +1,116 @@
+//! Message addressing and framing.
+
+/// Identifies a node (a workstation, a worker process, the JobQ, or a
+/// Clearinghouse) on the simulated network.
+///
+/// Node ids are dense small integers assigned by the transport builder, so
+/// they double as indices into per-node tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message in flight: payload plus source/destination addressing.
+///
+/// The transport stamps the source automatically; the sequence number is
+/// assigned by the reliability layer (zero when unused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Sequence number within the `(src, dst)` flow; 0 if the message did
+    /// not pass through the reliability layer.
+    pub seq: u64,
+    /// The payload.
+    pub body: M,
+}
+
+/// Gives a message an approximate size on the wire, in bytes.
+///
+/// The simulator's bandwidth model charges `overhead + size/bandwidth` per
+/// message. Scheduling messages in Phish are tiny (a steal request is a
+/// couple of words); application payloads such as ray-traced pixel bands can
+/// be large.
+pub trait WireSized {
+    /// Approximate encoded size in bytes, including a nominal header.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl WireSized for () {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES
+    }
+}
+
+impl WireSized for u64 {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + 8
+    }
+}
+
+impl WireSized for &str {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.len()
+    }
+}
+
+impl WireSized for String {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.len()
+    }
+}
+
+impl<T> WireSized for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.len() * std::mem::size_of::<T>()
+    }
+}
+
+/// Nominal UDP/IP + Phish header size charged to every message.
+pub const HEADER_BYTES: usize = 48;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(().wire_bytes(), HEADER_BYTES);
+        assert_eq!(5u64.wire_bytes(), HEADER_BYTES + 8);
+        assert_eq!(vec![0u32; 10].wire_bytes(), HEADER_BYTES + 40);
+    }
+
+    #[test]
+    fn envelope_fields() {
+        let e = Envelope {
+            src: NodeId(1),
+            dst: NodeId(2),
+            seq: 0,
+            body: 99u64,
+        };
+        assert_eq!(e.src, NodeId(1));
+        assert_eq!(e.dst, NodeId(2));
+        assert_eq!(e.body, 99);
+    }
+}

@@ -1,0 +1,116 @@
+//! Network traffic counters.
+//!
+//! Table 2 of the paper reports "Messages sent" for pfold runs; these
+//! counters are the source of that statistic throughout the reproduction.
+//! They are shared (`Arc`-style handles via `&NetMetrics` held in transports)
+//! and updated with relaxed atomics — counts only need to be exact once the
+//! run has quiesced, which is when we read them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative traffic statistics for one transport.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    messages_dropped: AtomicU64,
+    messages_duplicated: AtomicU64,
+    retransmissions: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Messages handed to the transport by senders.
+    pub messages_sent: u64,
+    /// Approximate bytes handed to the transport by senders.
+    pub bytes_sent: u64,
+    /// Messages that reached a receiver (once per delivery; duplicates that
+    /// arrive count again here, deduplication happens above).
+    pub messages_delivered: u64,
+    /// Messages the lossy layer discarded.
+    pub messages_dropped: u64,
+    /// Extra copies the lossy layer injected.
+    pub messages_duplicated: u64,
+    /// Messages re-sent by the reliability layer after a timeout.
+    pub retransmissions: u64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` bytes sent in one message.
+    #[inline]
+    pub fn record_send(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a delivery to a receiver.
+    #[inline]
+    pub fn record_delivery(&self) {
+        self.messages_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message dropped by the lossy layer.
+    #[inline]
+    pub fn record_drop(&self) {
+        self.messages_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate injected by the lossy layer.
+    #[inline]
+    pub fn record_duplicate(&self) {
+        self.messages_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a retransmission by the reliability layer.
+    #[inline]
+    pub fn record_retransmission(&self) {
+        self.retransmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            messages_duplicated: self.messages_duplicated.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = NetMetrics::new();
+        m.record_send(100);
+        m.record_send(28);
+        m.record_delivery();
+        m.record_drop();
+        m.record_duplicate();
+        m.record_retransmission();
+        let s = m.snapshot();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 128);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.messages_duplicated, 1);
+        assert_eq!(s.retransmissions, 1);
+    }
+
+    #[test]
+    fn snapshot_of_new_is_zero() {
+        assert_eq!(NetMetrics::new().snapshot(), NetSnapshot::default());
+    }
+}

@@ -1,0 +1,334 @@
+//! Request/reply RPC over the in-process network.
+//!
+//! "The PhishJobQ, an RPC server, resides on one computer and manages the
+//! pool of parallel jobs." (§3) This module provides that shape: an
+//! [`RpcServer`] that answers typed requests with a handler function, and
+//! an [`RpcClient`] whose calls are *split-phase* by default — issue the
+//! request, keep working, collect the reply when it lands — with a
+//! blocking convenience wrapper for daemon-style callers like the
+//! PhishJobManager.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::channel::Endpoint;
+use crate::message::{NodeId, WireSized, HEADER_BYTES};
+use crate::splitphase::{RequestId, SplitPhase};
+
+/// Wire frames of the RPC protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcFrame<Req, Resp> {
+    /// A client's request.
+    Request {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The request body.
+        body: Req,
+    },
+    /// The server's reply to request `id`.
+    Reply {
+        /// Echoed correlation id.
+        id: u64,
+        /// The reply body.
+        body: Resp,
+    },
+}
+
+impl<Req: WireSized, Resp: WireSized> WireSized for RpcFrame<Req, Resp> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            RpcFrame::Request { body, .. } => body.wire_bytes() + 8,
+            RpcFrame::Reply { body, .. } => body.wire_bytes() + 8,
+        }
+    }
+}
+
+/// Blanket no-payload sizing for types that don't care; concrete protocols
+/// should implement [`WireSized`] on their bodies instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsized<T>(pub T);
+
+impl<T> WireSized for Unsized<T> {
+    fn wire_bytes(&self) -> usize {
+        HEADER_BYTES
+    }
+}
+
+/// The client half: split-phase calls with a blocking convenience.
+pub struct RpcClient<Req, Resp> {
+    endpoint: Endpoint<RpcFrame<Req, Resp>>,
+    pending: SplitPhase<Resp>,
+    /// Wire-id → split-phase id (they are allocated in lockstep, but keep
+    /// the map explicit so ids stay opaque).
+    wire_to_req: HashMap<u64, RequestId>,
+    next_wire_id: u64,
+}
+
+impl<Req, Resp> RpcClient<Req, Resp>
+where
+    Req: Send + WireSized,
+    Resp: Send + WireSized,
+{
+    /// Wraps an endpoint as an RPC client.
+    pub fn new(endpoint: Endpoint<RpcFrame<Req, Resp>>) -> Self {
+        Self {
+            endpoint,
+            pending: SplitPhase::new(),
+            wire_to_req: HashMap::new(),
+            next_wire_id: 1,
+        }
+    }
+
+    /// This client's network address.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// Issues a request and returns immediately — the split phase. Poll
+    /// with [`RpcClient::pump`] + [`RpcClient::try_take`].
+    pub fn call_split(&mut self, server: NodeId, body: Req) -> RequestId {
+        let req_id = self.pending.register();
+        let wire = self.next_wire_id;
+        self.next_wire_id += 1;
+        self.wire_to_req.insert(wire, req_id);
+        self.endpoint.send(server, RpcFrame::Request { id: wire, body });
+        req_id
+    }
+
+    /// Drains arrived replies into the pending table. Returns how many
+    /// replies landed.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(env) = self.endpoint.try_recv() {
+            if let RpcFrame::Reply { id, body } = env.body {
+                if let Some(req_id) = self.wire_to_req.remove(&id) {
+                    if self.pending.complete(req_id, body) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Takes a completed reply, if it has arrived.
+    pub fn try_take(&mut self, id: RequestId) -> Option<Resp> {
+        self.pending.poll(id)
+    }
+
+    /// Requests still awaiting replies.
+    pub fn outstanding(&self) -> usize {
+        self.pending.outstanding()
+    }
+
+    /// The blocking convenience: call and wait up to `timeout`.
+    pub fn call_blocking(&mut self, server: NodeId, body: Req, timeout: Duration) -> Option<Resp> {
+        let id = self.call_split(server, body);
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump();
+            if let Some(resp) = self.try_take(id) {
+                return Some(resp);
+            }
+            if Instant::now() >= deadline {
+                self.pending.cancel(id);
+                return None;
+            }
+            // Block briefly on the endpoint rather than spinning.
+            if let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(1)) {
+                if let RpcFrame::Reply { id: wire, body } = env.body {
+                    if let Some(req_id) = self.wire_to_req.remove(&wire) {
+                        self.pending.complete(req_id, body);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The server half: a handler over incoming requests.
+pub struct RpcServer<Req, Resp> {
+    endpoint: Endpoint<RpcFrame<Req, Resp>>,
+    served: u64,
+}
+
+impl<Req, Resp> RpcServer<Req, Resp>
+where
+    Req: Send + WireSized,
+    Resp: Send + WireSized,
+{
+    /// Wraps an endpoint as an RPC server.
+    pub fn new(endpoint: Endpoint<RpcFrame<Req, Resp>>) -> Self {
+        Self { endpoint, served: 0 }
+    }
+
+    /// This server's network address.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Serves at most one request, waiting up to `timeout` for it.
+    /// Returns `true` if a request was handled.
+    pub fn serve_once(
+        &mut self,
+        timeout: Duration,
+        handler: &mut dyn FnMut(NodeId, Req) -> Resp,
+    ) -> bool {
+        let Some(env) = self.endpoint.recv_timeout(timeout) else {
+            return false;
+        };
+        match env.body {
+            RpcFrame::Request { id, body } => {
+                let reply = handler(env.src, body);
+                self.endpoint.send(env.src, RpcFrame::Reply { id, body: reply });
+                self.served += 1;
+                true
+            }
+            RpcFrame::Reply { .. } => false, // stray reply; ignore
+        }
+    }
+
+    /// Serves requests until `stop` returns true (checked between
+    /// requests, at `poll` granularity).
+    pub fn serve_until(
+        &mut self,
+        poll: Duration,
+        stop: &dyn Fn() -> bool,
+        handler: &mut dyn FnMut(NodeId, Req) -> Resp,
+    ) {
+        while !stop() {
+            self.serve_once(poll, handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelNet, SendCost};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    type Frame = RpcFrame<u64, u64>;
+
+    fn pair() -> (RpcClient<u64, u64>, RpcServer<u64, u64>) {
+        let eps = ChannelNet::<Frame>::new(2, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let client = RpcClient::new(it.next().unwrap());
+        let server = RpcServer::new(it.next().unwrap());
+        (client, server)
+    }
+
+    #[test]
+    fn blocking_call_roundtrips() {
+        let (mut client, mut server) = pair();
+        let t = std::thread::spawn(move || {
+            let mut doubler = |_, x: u64| x * 2;
+            for _ in 0..3 {
+                while !server.serve_once(Duration::from_secs(5), &mut doubler) {}
+            }
+            server.served()
+        });
+        for i in 1..=3u64 {
+            let resp = client.call_blocking(NodeId(1), i, Duration::from_secs(5));
+            assert_eq!(resp, Some(i * 2));
+        }
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn split_phase_overlaps_requests() {
+        let (mut client, mut server) = pair();
+        // Issue all requests before the server answers any: split-phase.
+        let ids: Vec<_> = (0..10u64).map(|i| client.call_split(NodeId(1), i)).collect();
+        assert_eq!(client.outstanding(), 10);
+        let mut square = |_, x: u64| x * x;
+        for _ in 0..10 {
+            assert!(server.serve_once(Duration::from_secs(1), &mut square));
+        }
+        // Collect replies in any order.
+        let mut got = 0;
+        while got < 10 {
+            client.pump();
+            for (i, id) in ids.iter().enumerate() {
+                if let Some(v) = client.try_take(*id) {
+                    assert_eq!(v, (i as u64) * (i as u64));
+                    got += 1;
+                }
+            }
+        }
+        assert_eq!(client.outstanding(), 0);
+    }
+
+    #[test]
+    fn blocking_call_times_out_without_server() {
+        let (mut client, _server) = pair();
+        let start = Instant::now();
+        let resp = client.call_blocking(NodeId(1), 1, Duration::from_millis(30));
+        assert_eq!(resp, None);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(client.outstanding(), 0, "timed-out call is cancelled");
+    }
+
+    #[test]
+    fn serve_until_stops_on_flag() {
+        let eps = ChannelNet::<Frame>::new(2, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let mut client = RpcClient::new(it.next().unwrap());
+        let mut server = RpcServer::new(it.next().unwrap());
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            let mut inc = |_, x: u64| x + 1;
+            server.serve_until(
+                Duration::from_millis(1),
+                &{
+                    let stop = stop2;
+                    move || stop.load(Ordering::Acquire)
+                },
+                &mut inc,
+            );
+            server.served()
+        });
+        assert_eq!(
+            client.call_blocking(NodeId(1), 41, Duration::from_secs(5)),
+            Some(42)
+        );
+        stop.store(true, Ordering::Release);
+        assert!(t.join().unwrap() >= 1);
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        let eps = ChannelNet::<Frame>::new(4, SendCost::FREE).into_endpoints();
+        let mut it = eps.into_iter();
+        let clients: Vec<_> = (0..3).map(|_| RpcClient::new(it.next().unwrap())).collect();
+        let mut server = RpcServer::new(it.next().unwrap());
+        let t = std::thread::spawn(move || {
+            let mut neg = |src: NodeId, x: u64| x + u64::from(src.0) * 1000;
+            for _ in 0..3 {
+                while !server.serve_once(Duration::from_secs(5), &mut neg) {}
+            }
+        });
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut c)| {
+                std::thread::spawn(move || {
+                    c.call_blocking(NodeId(3), 7, Duration::from_secs(5))
+                        .map(|v| (i, v))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (i, v) = h.join().unwrap().expect("reply");
+            assert_eq!(v, 7 + (i as u64) * 1000);
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! Split-phase request/reply correlation.
+//!
+//! "Since the round-trip latency of the network is very high, almost all
+//! communications are done with split-phase operations; that is, the runtime
+//! system almost always works while waiting for a reply message." (§3)
+//!
+//! [`SplitPhase`] is the bookkeeping half of that pattern: a caller
+//! registers a request (optionally with a continuation closure), embeds the
+//! returned [`RequestId`] in its outgoing message, keeps scheduling work,
+//! and later feeds the reply back in. The transport itself is orthogonal —
+//! any of this crate's endpoints can carry the id.
+
+use std::collections::HashMap;
+
+/// Correlates a reply with the request that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+enum Pending<R> {
+    /// Caller will poll for the value.
+    Polled(Option<R>),
+    /// Caller left a continuation to run on completion.
+    Continuation(Box<dyn FnOnce(R) + Send>),
+}
+
+impl<R> std::fmt::Debug for Pending<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pending::Polled(Some(_)) => write!(f, "Polled(ready)"),
+            Pending::Polled(None) => write!(f, "Polled(waiting)"),
+            Pending::Continuation(_) => write!(f, "Continuation"),
+        }
+    }
+}
+
+/// Outstanding-request table for one client.
+#[derive(Debug, Default)]
+pub struct SplitPhase<R> {
+    next: u64,
+    pending: HashMap<RequestId, Pending<R>>,
+}
+
+impl<R> SplitPhase<R> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self {
+            next: 1,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Registers a request whose reply the caller will poll with
+    /// [`SplitPhase::poll`].
+    pub fn register(&mut self) -> RequestId {
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Polled(None));
+        id
+    }
+
+    /// Registers a request whose reply runs `cont` inside
+    /// [`SplitPhase::complete`].
+    pub fn register_with(&mut self, cont: impl FnOnce(R) + Send + 'static) -> RequestId {
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Continuation(Box::new(cont)));
+        id
+    }
+
+    /// Delivers the reply for `id`. Returns `false` for unknown or
+    /// already-completed ids (duplicate replies are expected over datagram
+    /// transports and must be harmless).
+    pub fn complete(&mut self, id: RequestId, reply: R) -> bool {
+        match self.pending.get_mut(&id) {
+            Some(Pending::Polled(slot @ None)) => {
+                *slot = Some(reply);
+                true
+            }
+            Some(Pending::Polled(Some(_))) => false,
+            Some(Pending::Continuation(_)) => {
+                let Some(Pending::Continuation(cont)) = self.pending.remove(&id) else {
+                    unreachable!("variant checked above");
+                };
+                cont(reply);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes the reply for a polled request if it has arrived, removing the
+    /// entry.
+    pub fn poll(&mut self, id: RequestId) -> Option<R> {
+        match self.pending.get_mut(&id) {
+            Some(Pending::Polled(slot)) if slot.is_some() => {
+                let value = slot.take();
+                self.pending.remove(&id);
+                value
+            }
+            _ => None,
+        }
+    }
+
+    /// Abandons a request (e.g. the peer died); the reply, if it ever
+    /// arrives, will be ignored.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        self.pending.remove(&id).is_some()
+    }
+
+    /// Requests awaiting replies (including polled-but-uncollected ones).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
+        let id = RequestId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut sp = SplitPhase::<u32>::new();
+        let a = sp.register();
+        let b = sp.register();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poll_before_completion_is_none() {
+        let mut sp = SplitPhase::<u32>::new();
+        let id = sp.register();
+        assert_eq!(sp.poll(id), None);
+        assert!(sp.complete(id, 5));
+        assert_eq!(sp.poll(id), Some(5));
+        assert_eq!(sp.poll(id), None, "reply is consumed");
+        assert_eq!(sp.outstanding(), 0);
+    }
+
+    #[test]
+    fn continuation_runs_on_complete() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sp = SplitPhase::<u64>::new();
+        let h = Arc::clone(&hits);
+        let id = sp.register_with(move |v| {
+            h.fetch_add(v, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert!(sp.complete(id, 17));
+        assert_eq!(hits.load(Ordering::SeqCst), 17);
+        assert_eq!(sp.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicate_replies_are_harmless() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sp = SplitPhase::<u64>::new();
+        let h = Arc::clone(&hits);
+        let id = sp.register_with(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(sp.complete(id, 1));
+        assert!(!sp.complete(id, 1), "duplicate must be rejected");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        let id2 = sp.register();
+        assert!(sp.complete(id2, 7));
+        assert!(!sp.complete(id2, 8), "second reply ignored");
+        assert_eq!(sp.poll(id2), Some(7));
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        let mut sp = SplitPhase::<u32>::new();
+        assert!(!sp.complete(RequestId(999), 1));
+    }
+
+    #[test]
+    fn cancel_discards_future_reply() {
+        let mut sp = SplitPhase::<u32>::new();
+        let id = sp.register();
+        assert!(sp.cancel(id));
+        assert!(!sp.cancel(id));
+        assert!(!sp.complete(id, 3));
+        assert_eq!(sp.poll(id), None);
+    }
+
+    #[test]
+    fn outstanding_counts() {
+        let mut sp = SplitPhase::<u32>::new();
+        let a = sp.register();
+        let _b = sp.register();
+        assert_eq!(sp.outstanding(), 2);
+        sp.complete(a, 0);
+        // Completed-but-unpolled still occupies the table.
+        assert_eq!(sp.outstanding(), 2);
+        sp.poll(a);
+        assert_eq!(sp.outstanding(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Nanosecond clocks.
+//!
+//! The retransmission layer and the macro-level scheduler both need a notion
+//! of "now". Production code uses [`RealClock`] (a monotonic wall clock);
+//! tests and the discrete-event simulator use [`ManualClock`], which only
+//! advances when told to, making every timeout deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonic time in nanoseconds since an arbitrary epoch.
+pub type Nanos = u64;
+
+/// One second expressed in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// One millisecond expressed in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+
+/// One microsecond expressed in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+
+/// A source of monotonic nanosecond timestamps.
+///
+/// Implementations must be cheap to clone (handles to shared state) and
+/// callable from any thread.
+pub trait Clock: Send + Sync {
+    /// The current time in nanoseconds since this clock's epoch.
+    fn now(&self) -> Nanos;
+}
+
+/// A [`Clock`] backed by [`std::time::Instant`].
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is the moment of creation.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Nanos {
+        self.epoch.elapsed().as_nanos() as Nanos
+    }
+}
+
+/// A manually advanced [`Clock`] for deterministic tests.
+///
+/// Cloning a `ManualClock` yields a handle to the *same* underlying time, so
+/// a test can hold one handle and hand another to the code under test.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock reading zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock reading `start`.
+    pub fn starting_at(start: Nanos) -> Self {
+        let clock = Self::new();
+        clock.now.store(start, Ordering::SeqCst);
+        clock
+    }
+
+    /// Advances the clock by `delta` nanoseconds and returns the new time.
+    pub fn advance(&self, delta: Nanos) -> Nanos {
+        self.now.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+
+    /// Sets the clock to an absolute time. `t` must not be in the past;
+    /// moving a monotonic clock backwards is a logic error and panics.
+    pub fn set(&self, t: Nanos) {
+        let prev = self.now.swap(t, Ordering::SeqCst);
+        assert!(prev <= t, "ManualClock moved backwards: {prev} -> {t}");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Nanos {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_starts_at_zero() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(10), 15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now(), 42);
+    }
+
+    #[test]
+    fn manual_clock_set_forward() {
+        let c = ManualClock::starting_at(100);
+        c.set(250);
+        assert_eq!(c.now(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_set_backwards_panics() {
+        let c = ManualClock::starting_at(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn units_are_consistent() {
+        assert_eq!(SECOND, 1000 * MILLISECOND);
+        assert_eq!(MILLISECOND, 1000 * MICROSECOND);
+    }
+}

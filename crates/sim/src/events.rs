@@ -1,0 +1,167 @@
+//! The discrete-event core: a deterministic time-ordered event queue.
+//!
+//! Ties (equal timestamps) break by insertion sequence, so a simulation's
+//! behaviour is a pure function of its inputs and seeds — every experiment
+//! in EXPERIMENTS.md can be replayed exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use phish_net::Nanos;
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled<E> {
+    time: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: Nanos,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics.
+    pub fn schedule_at(&mut self, at: Nanos, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "first");
+        q.schedule_at(5, "second");
+        q.schedule_at(5, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(50, "x");
+        q.pop();
+        q.schedule_in(25, "y");
+        assert_eq!(q.pop(), Some((75, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        q.pop();
+        q.schedule_at(50, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(7, ());
+        q.schedule_at(3, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(3));
+    }
+}

@@ -1,0 +1,669 @@
+//! Fleet simulation: the macro-level scheduler over many workstations.
+//!
+//! Drives one [`JobQ`] and N real [`JobManager`] state machines (the same
+//! code a threaded deployment runs) against seeded owner-activity traces on
+//! a virtual clock. Jobs are modelled abstractly: a pool of CPU-work split
+//! into phases, each with a bound on useful parallelism — enough to exercise
+//! every macro-level behaviour the paper describes: idle workstations
+//! joining, owners reclaiming machines, parallelism shrinking and freeing
+//! workstations for other jobs, and the 30-second/2-minute message cadences
+//! whose coarseness underlies the §3 scalability conjecture.
+
+use phish_macro::{
+    AssignPolicy, ExitReason, IdlenessPolicy, JobId, JobManager, JobQ, JobSpec,
+    LoadBelowThreshold, ManagerAction, NobodyLoggedIn, UPDATE_INTERVAL,
+};
+use phish_net::time::{Nanos, SECOND};
+
+use crate::events::EventQueue;
+use crate::workstation::{OwnerProfile, OwnerTrace};
+
+/// One phase of a simulated job's lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// CPU-work in this phase, in processor-nanoseconds.
+    pub work: Nanos,
+    /// Maximum participants that can be productive in this phase.
+    pub parallelism: u32,
+}
+
+/// A job submitted to the simulated fleet.
+#[derive(Debug, Clone)]
+pub struct SimJobSpec {
+    /// Name (for reports).
+    pub name: String,
+    /// Phases, consumed in order.
+    pub phases: Vec<Phase>,
+    /// Cap on simultaneous participants (None = unlimited).
+    pub max_participants: Option<u32>,
+}
+
+impl SimJobSpec {
+    /// A single-phase job.
+    pub fn uniform(name: impl Into<String>, work: Nanos, parallelism: u32) -> Self {
+        Self {
+            name: name.into(),
+            phases: vec![Phase { work, parallelism }],
+            max_participants: None,
+        }
+    }
+
+    /// Total CPU-work across phases.
+    pub fn total_work(&self) -> Nanos {
+        self.phases.iter().map(|p| p.work).sum()
+    }
+}
+
+/// Configuration of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of workstations.
+    pub workstations: usize,
+    /// Owner behaviour for every workstation.
+    pub owner_profile: OwnerProfile,
+    /// RNG seed (owner traces).
+    pub seed: u64,
+    /// Jobs submitted at time zero.
+    pub jobs: Vec<SimJobSpec>,
+    /// How long a surplus participant takes to notice parallelism shrank
+    /// (repeated failed steals) and exit.
+    pub shrink_detect_delay: Nanos,
+    /// Simulation cutoff.
+    pub max_time: Nanos,
+    /// JobQ assignment policy (round-robin in the paper).
+    pub assign_policy: AssignPolicy,
+    /// Idleness policy every workstation owner chose (§2: owners set their
+    /// own; fleet-wide here for clean comparisons).
+    pub idleness: IdlenessChoice,
+}
+
+/// Which idleness policy the fleet's owners use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdlenessChoice {
+    /// The paper's conservative default.
+    NobodyLoggedIn,
+    /// Harvest whenever owner load is below the threshold, logins or not.
+    LoadBelow(f64),
+}
+
+impl IdlenessChoice {
+    fn build(self) -> Box<dyn IdlenessPolicy> {
+        match self {
+            IdlenessChoice::NobodyLoggedIn => Box::new(NobodyLoggedIn),
+            IdlenessChoice::LoadBelow(max_load) => Box::new(LoadBelowThreshold { max_load }),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A dedicated (always-idle) fleet of `n` workstations.
+    pub fn dedicated(n: usize, jobs: Vec<SimJobSpec>) -> Self {
+        Self {
+            workstations: n,
+            owner_profile: OwnerProfile::always_idle(),
+            seed: 0x5EED,
+            jobs,
+            shrink_detect_delay: 2 * SECOND,
+            max_time: 24 * 3600 * SECOND,
+            assign_policy: AssignPolicy::RoundRobin,
+            idleness: IdlenessChoice::NobodyLoggedIn,
+        }
+    }
+}
+
+/// Results of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Virtual time when the last job finished (or the cutoff).
+    pub makespan: Nanos,
+    /// Completion time per job, in submission order (None = unfinished).
+    pub completions: Vec<Option<Nanos>>,
+    /// Σ participant-time actually spent per job.
+    pub busy_time: Vec<Nanos>,
+    /// Peak simultaneous participants per job.
+    pub peak_participants: Vec<u32>,
+    /// Messages that reached the JobQ (requests), its replies, and
+    /// worker-exit notices — the central-server load of the §3 conjecture.
+    pub jobq_messages: u64,
+    /// Estimated Clearinghouse messages: registrations, unregistrations,
+    /// and one roster update per participant per 2 minutes.
+    pub clearinghouse_messages: u64,
+    /// Total workstation-time spent participating.
+    pub total_participation: Nanos,
+    /// Total workstation-time the owners left idle.
+    pub total_idle_capacity: Nanos,
+}
+
+impl FleetReport {
+    /// Fraction of owner-idle capacity actually harvested for jobs.
+    pub fn utilization(&self) -> f64 {
+        if self.total_idle_capacity == 0 {
+            return 0.0;
+        }
+        self.total_participation as f64 / self.total_idle_capacity as f64
+    }
+
+    /// JobQ messages per second of simulated time.
+    pub fn jobq_msgs_per_sec(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.jobq_messages as f64 / (self.makespan as f64 / 1e9)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A JobManager's timer fires.
+    ManagerTimer { ws: usize },
+    /// Re-evaluate a job's projected completion / phase boundary.
+    JobCheck { job: usize, gen: u64 },
+    /// A surplus participant notices shrunken parallelism.
+    ShrinkExit { ws: usize, job: usize, gen: u64 },
+}
+
+struct JobState {
+    id: JobId,
+    phases: Vec<Phase>,
+    phase_idx: usize,
+    /// Work remaining in the current phase.
+    phase_remaining: f64,
+    participants: Vec<usize>,
+    last_accrual: Nanos,
+    gen: u64,
+    completed_at: Option<Nanos>,
+    busy_time: Nanos,
+    peak: u32,
+}
+
+impl JobState {
+    fn parallelism(&self) -> u32 {
+        self.phases
+            .get(self.phase_idx)
+            .map_or(0, |p| p.parallelism)
+    }
+
+    fn rate(&self) -> u64 {
+        (self.participants.len() as u32).min(self.parallelism()) as u64
+    }
+
+    fn done(&self) -> bool {
+        self.phase_idx >= self.phases.len()
+    }
+
+    /// Accrues work up to `now`, advancing phases as they exhaust.
+    fn accrue(&mut self, now: Nanos) {
+        let mut t = self.last_accrual;
+        while t < now && !self.done() {
+            let rate = self.rate();
+            if rate == 0 {
+                break;
+            }
+            let dt = (now - t) as f64;
+            let can_do = dt * rate as f64;
+            if can_do < self.phase_remaining {
+                self.phase_remaining -= can_do;
+                self.busy_time += (now - t) * self.participants.len() as u64;
+                t = now;
+            } else {
+                let used = self.phase_remaining / rate as f64;
+                self.busy_time += used as u64 * self.participants.len() as u64;
+                t += used as Nanos;
+                self.phase_idx += 1;
+                self.phase_remaining = self
+                    .phases
+                    .get(self.phase_idx)
+                    .map_or(0.0, |p| p.work as f64);
+            }
+        }
+        self.last_accrual = now;
+    }
+
+    /// Time at which the *current* phase exhausts at the current rate.
+    fn next_boundary(&self, now: Nanos) -> Option<Nanos> {
+        if self.done() {
+            return None;
+        }
+        let rate = self.rate();
+        if rate == 0 {
+            return None;
+        }
+        Some(now + (self.phase_remaining / rate as f64).ceil() as Nanos)
+    }
+}
+
+/// Runs the fleet to completion (or cutoff).
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut jobq = JobQ::with_policy(cfg.assign_policy);
+    let mut jobs: Vec<JobState> = cfg
+        .jobs
+        .iter()
+        .map(|spec| {
+            let id = jobq.submit(JobSpec {
+                name: spec.name.clone(),
+                priority: 0,
+                max_participants: spec.max_participants,
+            });
+            JobState {
+                id,
+                phases: spec.phases.clone(),
+                phase_idx: 0,
+                phase_remaining: spec.phases.first().map_or(0.0, |p| p.work as f64),
+                participants: Vec::new(),
+                last_accrual: 0,
+                gen: 0,
+                completed_at: None,
+                busy_time: 0,
+                peak: 0,
+            }
+        })
+        .collect();
+    let mut managers: Vec<JobManager> = (0..cfg.workstations)
+        .map(|_| JobManager::new(cfg.idleness.build(), 0))
+        .collect();
+    let mut traces: Vec<OwnerTrace> = (0..cfg.workstations)
+        .map(|i| OwnerTrace::new(cfg.owner_profile, cfg.seed ^ (i as u64 * 7919 + 1)))
+        .collect();
+    // Which job each workstation participates in.
+    let mut participating: Vec<Option<usize>> = vec![None; cfg.workstations];
+    let mut jobq_messages: u64 = 0;
+    let mut registrations: u64 = 0;
+
+    for (ws, m) in managers.iter().enumerate() {
+        q.schedule_at(m.next_timer(), Ev::ManagerTimer { ws });
+    }
+
+    let job_index_of = |jobs: &[JobState], id: JobId| -> Option<usize> {
+        jobs.iter().position(|j| j.id == id)
+    };
+
+    while let Some((now, ev)) = q.pop() {
+        if now > cfg.max_time {
+            break;
+        }
+        if jobs.iter().all(|j| j.completed_at.is_some()) {
+            break;
+        }
+        match ev {
+            Ev::ManagerTimer { ws } => {
+                let obs = traces[ws].observe(now);
+                let actions = managers[ws].tick(now, &obs);
+                let mut reschedule = true;
+                for action in actions {
+                    match action {
+                        ManagerAction::RequestJob => {
+                            // Request + reply: two JobQ messages.
+                            jobq_messages += 2;
+                            let reply = jobq.request();
+                            let more = managers[ws].on_job_reply(now, reply.clone());
+                            for a in more {
+                                if let ManagerAction::StartWorker(assign) = a {
+                                    if let Some(ji) = job_index_of(&jobs, assign.job) {
+                                        join_job(ws, ji, now, &mut jobs, &mut participating, &mut q);
+                                        registrations += 1;
+                                    }
+                                }
+                            }
+                        }
+                        ManagerAction::KillWorker(_) => {
+                            if let Some(ji) = participating[ws].take() {
+                                leave_job(ws, ji, now, &mut jobs, &mut jobq, &mut q);
+                            }
+                        }
+                        ManagerAction::StartWorker(_) => unreachable!("start only follows reply"),
+                    }
+                    reschedule = true;
+                }
+                if reschedule {
+                    q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+                }
+            }
+            Ev::JobCheck { job, gen } => {
+                if jobs[job].gen != gen || jobs[job].completed_at.is_some() {
+                    continue;
+                }
+                jobs[job].accrue(now);
+                if jobs[job].done() {
+                    complete_job(
+                        job,
+                        now,
+                        &mut jobs,
+                        &mut jobq,
+                        &mut managers,
+                        &mut participating,
+                        &mut jobq_messages,
+                        &mut q,
+                    );
+                } else {
+                    reschedule_job(job, now, &mut jobs, &mut q);
+                    schedule_shrink_exits(job, now, cfg, &mut jobs, &mut q);
+                }
+            }
+            Ev::ShrinkExit { ws, job, gen } => {
+                if jobs[job].gen != gen
+                    || jobs[job].completed_at.is_some()
+                    || participating[ws] != Some(job)
+                {
+                    continue;
+                }
+                jobs[job].accrue(now);
+                if jobs[job].participants.len() as u32 <= jobs[job].parallelism() {
+                    continue; // parallelism recovered
+                }
+                participating[ws] = None;
+                leave_job(ws, job, now, &mut jobs, &mut jobq, &mut q);
+                // The manager's worker exits and immediately re-requests.
+                jobq_messages += 1; // exit notice
+                let actions = managers[ws].on_worker_exit(now, ExitReason::ParallelismShrank);
+                for action in actions {
+                    if let ManagerAction::RequestJob = action {
+                        jobq_messages += 2;
+                        let reply = jobq.request();
+                        let more = managers[ws].on_job_reply(now, reply.clone());
+                        for a in more {
+                            if let ManagerAction::StartWorker(assign) = a {
+                                if let Some(ji) = job_index_of(&jobs, assign.job) {
+                                    join_job(ws, ji, now, &mut jobs, &mut participating, &mut q);
+                                    registrations += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+            }
+        }
+    }
+
+    let makespan = jobs
+        .iter()
+        .filter_map(|j| j.completed_at)
+        .max()
+        .unwrap_or_else(|| q.now().min(cfg.max_time));
+    let total_participation: Nanos = jobs.iter().map(|j| j.busy_time).sum();
+    // Idle capacity: integrate owner-idle time per workstation up to makespan.
+    let mut total_idle_capacity: Nanos = 0;
+    for tr in traces.iter_mut() {
+        let mut t = 0;
+        while t < makespan {
+            let next = tr.next_transition_after(t).min(makespan);
+            if !tr.busy_at(t) {
+                total_idle_capacity += next - t;
+            }
+            t = next;
+        }
+    }
+    // Clearinghouse traffic: register/unregister pairs plus one update per
+    // participant per 2 minutes of participation.
+    let updates: u64 = jobs
+        .iter()
+        .map(|j| j.busy_time / UPDATE_INTERVAL)
+        .sum();
+    FleetReport {
+        makespan,
+        completions: jobs.iter().map(|j| j.completed_at).collect(),
+        busy_time: jobs.iter().map(|j| j.busy_time).collect(),
+        peak_participants: jobs.iter().map(|j| j.peak).collect(),
+        jobq_messages,
+        clearinghouse_messages: registrations * 2 + updates,
+        total_participation,
+        total_idle_capacity,
+    }
+}
+
+fn join_job(
+    ws: usize,
+    job: usize,
+    now: Nanos,
+    jobs: &mut [JobState],
+    participating: &mut [Option<usize>],
+    q: &mut EventQueue<Ev>,
+) {
+    jobs[job].accrue(now);
+    jobs[job].participants.push(ws);
+    let n = jobs[job].participants.len() as u32;
+    jobs[job].peak = jobs[job].peak.max(n);
+    participating[ws] = Some(job);
+    reschedule_job(job, now, jobs, q);
+}
+
+fn leave_job(
+    ws: usize,
+    job: usize,
+    now: Nanos,
+    jobs: &mut [JobState],
+    jobq: &mut JobQ,
+    q: &mut EventQueue<Ev>,
+) {
+    jobs[job].accrue(now);
+    jobs[job].participants.retain(|w| *w != ws);
+    jobq.release(jobs[job].id);
+    reschedule_job(job, now, jobs, q);
+}
+
+fn reschedule_job(job: usize, now: Nanos, jobs: &mut [JobState], q: &mut EventQueue<Ev>) {
+    jobs[job].gen += 1;
+    let gen = jobs[job].gen;
+    if let Some(t) = jobs[job].next_boundary(now) {
+        q.schedule_at(t.max(now + 1), Ev::JobCheck { job, gen });
+    }
+}
+
+fn schedule_shrink_exits(
+    job: usize,
+    now: Nanos,
+    cfg: &FleetConfig,
+    jobs: &mut [JobState],
+    q: &mut EventQueue<Ev>,
+) {
+    let surplus = jobs[job]
+        .participants
+        .len()
+        .saturating_sub(jobs[job].parallelism() as usize);
+    if surplus == 0 {
+        return;
+    }
+    let gen = jobs[job].gen;
+    // Most recent joiners leave first.
+    let victims: Vec<usize> = jobs[job]
+        .participants
+        .iter()
+        .rev()
+        .take(surplus)
+        .copied()
+        .collect();
+    for ws in victims {
+        q.schedule_at(
+            now + cfg.shrink_detect_delay,
+            Ev::ShrinkExit { ws, job, gen },
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_job(
+    job: usize,
+    now: Nanos,
+    jobs: &mut [JobState],
+    jobq: &mut JobQ,
+    managers: &mut [JobManager],
+    participating: &mut [Option<usize>],
+    jobq_messages: &mut u64,
+    q: &mut EventQueue<Ev>,
+) {
+    jobs[job].completed_at = Some(now);
+    jobq.complete(jobs[job].id);
+    let members = std::mem::take(&mut jobs[job].participants);
+    for ws in members {
+        participating[ws] = None;
+        // Worker exit + immediate re-request (handled at the manager's
+        // pace by scheduling its timer now).
+        let actions = managers[ws].on_worker_exit(now, ExitReason::JobFinished);
+        for action in actions {
+            if let ManagerAction::RequestJob = action {
+                *jobq_messages += 2;
+                let reply = jobq.request();
+                let more = managers[ws].on_job_reply(now, reply);
+                for a in more {
+                    if let ManagerAction::StartWorker(assign) = a {
+                        if let Some(ji) = jobs.iter().position(|j| j.id == assign.job) {
+                            join_job(ws, ji, now, jobs, participating, q);
+                        }
+                    }
+                }
+            }
+        }
+        q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINUTE: Nanos = 60 * SECOND;
+
+    #[test]
+    fn dedicated_fleet_completes_one_job() {
+        // 8 always-idle workstations, one 80-cpu-second job, 8-way parallel:
+        // should take ~10s of engine time once everyone joins (joining
+        // takes up to 5 minutes: the initial owner poll).
+        let job = SimJobSpec::uniform("pfold", 80 * SECOND, 8);
+        let cfg = FleetConfig::dedicated(8, vec![job]);
+        let r = run_fleet(&cfg);
+        let done = r.completions[0].expect("job must finish");
+        assert!(done < 10 * MINUTE, "finished at {}s", done / SECOND);
+        assert_eq!(r.peak_participants[0], 8, "all 8 should join");
+        assert!(r.busy_time[0] >= 80 * SECOND);
+    }
+
+    #[test]
+    fn parallelism_cap_limits_participants() {
+        let job = SimJobSpec {
+            name: "narrow".into(),
+            phases: vec![Phase {
+                work: 40 * SECOND,
+                parallelism: 2,
+            }],
+            max_participants: Some(2),
+        };
+        let cfg = FleetConfig::dedicated(8, vec![job]);
+        let r = run_fleet(&cfg);
+        assert!(r.completions[0].is_some());
+        assert!(r.peak_participants[0] <= 2);
+    }
+
+    #[test]
+    fn shrinking_parallelism_frees_workstations_for_other_jobs() {
+        // Job A: wide then narrow. Job B: wide throughout. When A narrows,
+        // its surplus workstations must drift to B.
+        let a = SimJobSpec {
+            name: "a".into(),
+            phases: vec![
+                Phase {
+                    work: 64 * SECOND,
+                    parallelism: 16,
+                },
+                Phase {
+                    work: 64 * SECOND,
+                    parallelism: 2,
+                },
+            ],
+            max_participants: None,
+        };
+        let b = SimJobSpec::uniform("b", 400 * SECOND, 32);
+        let cfg = FleetConfig::dedicated(16, vec![a, b]);
+        let r = run_fleet(&cfg);
+        assert!(r.completions[0].is_some(), "job a unfinished");
+        assert!(r.completions[1].is_some(), "job b unfinished");
+        // B must at some point have gained more than its initial
+        // round-robin half of the fleet.
+        assert!(
+            r.peak_participants[1] > 8,
+            "b peaked at {} participants",
+            r.peak_participants[1]
+        );
+    }
+
+    #[test]
+    fn owners_returning_evict_workers_but_job_still_finishes() {
+        let job = SimJobSpec::uniform("steady", 200 * SECOND, 8);
+        let cfg = FleetConfig {
+            workstations: 8,
+            owner_profile: OwnerProfile {
+                mean_busy: 20 * MINUTE,
+                mean_idle: 40 * MINUTE,
+                starts_busy: false,
+                lingering_fraction: 0.0,
+            },
+            seed: 17,
+            jobs: vec![job],
+            shrink_detect_delay: 2 * SECOND,
+            max_time: 24 * 3600 * SECOND,
+            assign_policy: AssignPolicy::RoundRobin,
+            idleness: IdlenessChoice::NobodyLoggedIn,
+        };
+        let r = run_fleet(&cfg);
+        assert!(r.completions[0].is_some(), "job must survive churn");
+        assert!(r.utilization() > 0.0);
+    }
+
+    #[test]
+    fn load_policy_harvests_lingering_sessions() {
+        let jobs = || vec![SimJobSpec::uniform("j", 2000 * SECOND, 16)];
+        let base = FleetConfig {
+            workstations: 16,
+            owner_profile: OwnerProfile::lingering_office_worker(0.5),
+            seed: 5,
+            jobs: jobs(),
+            shrink_detect_delay: 2 * SECOND,
+            max_time: 72 * 3600 * SECOND,
+            assign_policy: AssignPolicy::RoundRobin,
+            idleness: IdlenessChoice::NobodyLoggedIn,
+        };
+        let conservative = run_fleet(&base);
+        let liberal = run_fleet(&FleetConfig {
+            idleness: IdlenessChoice::LoadBelow(0.25),
+            jobs: jobs(),
+            ..base
+        });
+        let c = conservative.completions[0].expect("finishes eventually");
+        let l = liberal.completions[0].expect("finishes");
+        assert!(
+            l < c,
+            "load policy must finish sooner: {l} vs {c} (lingering sessions harvested)"
+        );
+    }
+
+    #[test]
+    fn jobq_traffic_is_coarse() {
+        // The §3 conjecture: JobQ messages stay ~1 per 30s per hunting
+        // workstation. With a fleet of 50 and an hour of simulated time the
+        // rate must stay far below 50/s.
+        let job = SimJobSpec::uniform("long", 3000 * SECOND, 4);
+        let cfg = FleetConfig::dedicated(50, vec![job]);
+        let r = run_fleet(&cfg);
+        assert!(
+            r.jobq_msgs_per_sec() < 10.0,
+            "JobQ rate {}/s",
+            r.jobq_msgs_per_sec()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let job = SimJobSpec::uniform("j", 100 * SECOND, 4);
+            FleetConfig {
+                seed: 99,
+                ..FleetConfig::dedicated(8, vec![job])
+            }
+        };
+        let a = run_fleet(&mk());
+        let b = run_fleet(&mk());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.jobq_messages, b.jobq_messages);
+        assert_eq!(a.completions, b.completions);
+    }
+}

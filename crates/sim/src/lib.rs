@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # phish-sim — a deterministic simulator of a network of workstations
+//!
+//! The paper ran on a 1994 LAN of SparcStations with real owners logging in
+//! and out; this crate is the substitute substrate. Everything is
+//! discrete-event and seeded, so every experiment replays exactly.
+//!
+//! * [`events`] — the deterministic event queue.
+//! * [`workstation`] — seeded owner login/logout traces.
+//! * [`netmodel`] — message cost models (1994 Ethernet, CM-5 interconnect,
+//!   ATM) and clustered topologies for the §6 heterogeneity experiment.
+//! * [`fleet`] — the macro-level scheduler (real `JobManager`/`JobQ` code)
+//!   over N simulated workstations: join/leave dynamics, utilization, and
+//!   the §3 central-server scalability conjecture.
+//! * [`microsim`] — virtual-time execution of real [`phish_core::SpecTask`]
+//!   trees under the micro-level scheduler: regenerates the Figure 4/5
+//!   speedup curves at participant counts the host machine cannot provide.
+//! * [`sharing`] — the §2 space-sharing vs gang-time-sharing comparison.
+
+pub mod events;
+pub mod fleet;
+pub mod microsim;
+pub mod netmodel;
+pub mod sharing;
+pub mod workstation;
+
+pub use events::EventQueue;
+pub use fleet::{run_fleet, FleetConfig, FleetReport, IdlenessChoice, Phase, SimJobSpec};
+pub use microsim::{run_microsim, MicroReport, MicroSimConfig, MicroVictimPolicy};
+pub use netmodel::{LinkModel, Topology};
+pub use sharing::{gang_timeshare, paper_scenario, space_share, SharingReport};
+pub use workstation::{OwnerProfile, OwnerTrace};

@@ -1,0 +1,175 @@
+//! The network cost model.
+//!
+//! The paper's motivating observation: "the software overhead incurred when
+//! sending a message on a typical workstation is often at least two orders
+//! of magnitude greater than the corresponding overhead on a parallel
+//! supercomputer. Also, the bisection bandwidth of a typical workstation
+//! network is again often at least two orders of magnitude less." (§1)
+//!
+//! [`LinkModel`] charges `overhead + size/bandwidth + latency` per message.
+//! [`Topology`] groups workers into clusters with different intra- and
+//! inter-cluster links — the substrate for the paper's §6 future-work
+//! experiment on heterogeneous networks ("preserve locality with respect to
+//! those network cuts that have the least bandwidth").
+
+use phish_net::time::{Nanos, MICROSECOND};
+
+/// Cost parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Per-message sender software overhead.
+    pub overhead: Nanos,
+    /// Propagation latency.
+    pub latency: Nanos,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl LinkModel {
+    /// A 1994 Ethernet LAN with an untuned UDP/IP stack: ~1ms software
+    /// overhead, ~0.5ms latency, 10 Mbit/s.
+    pub fn ethernet_1994() -> Self {
+        Self {
+            overhead: 1000 * MICROSECOND,
+            latency: 500 * MICROSECOND,
+            bandwidth_bps: 10_000_000 / 8,
+        }
+    }
+
+    /// A CM-5-class supercomputer interconnect: both overhead and
+    /// bandwidth roughly two orders of magnitude better, per §1.
+    pub fn cm5_interconnect() -> Self {
+        Self {
+            overhead: 10 * MICROSECOND,
+            latency: 5 * MICROSECOND,
+            bandwidth_bps: 1_000_000_000 / 8,
+        }
+    }
+
+    /// An ATM-class "improved workstation network" (§1 cites ATM research
+    /// closing the gap).
+    pub fn atm_1995() -> Self {
+        Self {
+            overhead: 100 * MICROSECOND,
+            latency: 50 * MICROSECOND,
+            bandwidth_bps: 155_000_000 / 8,
+        }
+    }
+
+    /// One-way delivery time for a message of `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> Nanos {
+        let serialization = (bytes as u128 * 1_000_000_000u128
+            / u128::from(self.bandwidth_bps.max(1))) as Nanos;
+        self.overhead + self.latency + serialization
+    }
+
+    /// Round-trip time for a small request/reply pair of `bytes` each.
+    pub fn round_trip(&self, bytes: usize) -> Nanos {
+        2 * self.transfer_time(bytes)
+    }
+}
+
+/// Cluster membership plus per-class links.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Cluster index of each worker.
+    pub cluster_of: Vec<usize>,
+    /// Link used within a cluster.
+    pub intra: LinkModel,
+    /// Link used across clusters (the thin cut).
+    pub inter: LinkModel,
+}
+
+impl Topology {
+    /// A single cluster of `n` workers over `link`.
+    pub fn flat(n: usize, link: LinkModel) -> Self {
+        Self {
+            cluster_of: vec![0; n],
+            intra: link,
+            inter: link,
+        }
+    }
+
+    /// `clusters` equal clusters of `per_cluster` workers, fast links
+    /// inside and a thin link between.
+    pub fn clustered(clusters: usize, per_cluster: usize, intra: LinkModel, inter: LinkModel) -> Self {
+        let cluster_of = (0..clusters * per_cluster)
+            .map(|w| w / per_cluster)
+            .collect();
+        Self {
+            cluster_of,
+            intra,
+            inter,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// True when `a` and `b` share a cluster.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.cluster_of[a] == self.cluster_of[b]
+    }
+
+    /// The link between two workers.
+    pub fn link(&self, a: usize, b: usize) -> &LinkModel {
+        if self.same_cluster(a, b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_components() {
+        let link = LinkModel {
+            overhead: 100,
+            latency: 50,
+            bandwidth_bps: 1_000_000_000, // 1 GB/s → 1ns per byte
+        };
+        assert_eq!(link.transfer_time(0), 150);
+        assert_eq!(link.transfer_time(1000), 1150);
+        assert_eq!(link.round_trip(0), 300);
+    }
+
+    #[test]
+    fn ethernet_is_two_orders_slower_than_cm5() {
+        let lan = LinkModel::ethernet_1994();
+        let cm5 = LinkModel::cm5_interconnect();
+        assert!(lan.overhead >= 100 * cm5.overhead);
+        assert!(cm5.bandwidth_bps >= 100 * lan.bandwidth_bps / 2);
+        // A small scheduling message is dominated by overhead on the LAN.
+        assert!(lan.transfer_time(64) > 50 * cm5.transfer_time(64));
+    }
+
+    #[test]
+    fn flat_topology_has_one_cluster() {
+        let t = Topology::flat(8, LinkModel::ethernet_1994());
+        assert_eq!(t.workers(), 8);
+        assert!(t.same_cluster(0, 7));
+        assert_eq!(t.link(0, 7), &t.intra);
+    }
+
+    #[test]
+    fn clustered_topology_separates_cuts() {
+        let t = Topology::clustered(
+            2,
+            4,
+            LinkModel::atm_1995(),
+            LinkModel::ethernet_1994(),
+        );
+        assert_eq!(t.workers(), 8);
+        assert!(t.same_cluster(0, 3));
+        assert!(!t.same_cluster(3, 4));
+        assert_eq!(t.link(0, 3), &t.intra);
+        assert_eq!(t.link(0, 4), &t.inter);
+        assert!(t.link(0, 4).transfer_time(64) > t.link(0, 3).transfer_time(64));
+    }
+}

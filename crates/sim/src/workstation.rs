@@ -1,0 +1,293 @@
+//! Simulated workstation owners.
+//!
+//! An [`OwnerTrace`] is a deterministic, seeded sequence of login/logout
+//! periods — the "owner activity" a JobManager polls. Busy and idle period
+//! lengths are exponentially distributed with configurable means, matching
+//! the empirical observation the paper cites (ref. 20, Condor) that "much of a
+//! typical workstation's computing capacity goes unused".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use phish_macro::OwnerObservation;
+use phish_net::time::{Nanos, SECOND};
+
+/// Parameters of an owner's behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct OwnerProfile {
+    /// Mean length of a logged-in period.
+    pub mean_busy: Nanos,
+    /// Mean length of a logged-out period.
+    pub mean_idle: Nanos,
+    /// Whether the trace starts with the owner logged in.
+    pub starts_busy: bool,
+    /// Fraction of "away" periods during which the owner *stays logged
+    /// in* (locked screen, forgotten session) while the machine does
+    /// nothing. The conservative nobody-logged-in policy cannot harvest
+    /// these; a load-threshold policy can — the §2 owner-policy trade-off.
+    pub lingering_fraction: f64,
+}
+
+impl OwnerProfile {
+    /// A nine-to-five-ish owner: busy ~45 min at a time, idle ~90 min.
+    pub fn office_worker() -> Self {
+        Self {
+            mean_busy: 45 * 60 * SECOND,
+            mean_idle: 90 * 60 * SECOND,
+            starts_busy: true,
+            lingering_fraction: 0.0,
+        }
+    }
+
+    /// An office worker who often leaves a session logged in while away.
+    pub fn lingering_office_worker(fraction: f64) -> Self {
+        Self {
+            lingering_fraction: fraction,
+            ..Self::office_worker()
+        }
+    }
+
+    /// A machine that is almost always free (a pool workstation).
+    pub fn mostly_idle() -> Self {
+        Self {
+            mean_busy: 10 * 60 * SECOND,
+            mean_idle: 8 * 3600 * SECOND,
+            starts_busy: false,
+            lingering_fraction: 0.0,
+        }
+    }
+
+    /// A permanently idle machine (dedicated-cluster mode).
+    pub fn always_idle() -> Self {
+        Self {
+            mean_busy: 0,
+            mean_idle: Nanos::MAX / 4,
+            starts_busy: false,
+            lingering_fraction: 0.0,
+        }
+    }
+}
+
+/// A lazily generated, deterministic owner activity trace.
+///
+/// Queries must be (weakly) time-ordered, which the event-driven simulator
+/// guarantees.
+#[derive(Debug)]
+pub struct OwnerTrace {
+    profile: OwnerProfile,
+    rng: SmallRng,
+    /// Breakpoints: `(start_time, busy?)`, extended on demand. The first
+    /// entry always starts at 0.
+    segments: Vec<(Nanos, bool)>,
+    /// Start of the segment *after* the last generated one.
+    horizon: Nanos,
+}
+
+impl OwnerTrace {
+    /// A trace for `profile` drawn from `seed`.
+    pub fn new(profile: OwnerProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: SmallRng::seed_from_u64(seed),
+            segments: vec![(0, profile.starts_busy)],
+            horizon: 0,
+        }
+    }
+
+    fn sample_exp(&mut self, mean: Nanos) -> Nanos {
+        if mean == 0 {
+            return 1; // degenerate: instant transition
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let d = -(u.ln()) * mean as f64;
+        d.min(Nanos::MAX as f64 / 8.0) as Nanos + 1
+    }
+
+    fn extend_to(&mut self, t: Nanos) {
+        while self.horizon <= t {
+            let (_, last_busy) = *self.segments.last().expect("never empty");
+            let mean = if last_busy {
+                self.profile.mean_busy
+            } else {
+                self.profile.mean_idle
+            };
+            let dur = self.sample_exp(mean);
+            self.horizon = self.horizon.saturating_add(dur);
+            self.segments.push((self.horizon, !last_busy));
+        }
+    }
+
+    /// Is the owner logged in at time `t`?
+    pub fn busy_at(&mut self, t: Nanos) -> bool {
+        self.extend_to(t);
+        // Last segment starting at or before t.
+        let idx = self
+            .segments
+            .partition_point(|(start, _)| *start <= t)
+            .saturating_sub(1);
+        self.segments[idx].1
+    }
+
+    /// The observation a JobManager would make at `t`.
+    pub fn observe(&mut self, t: Nanos) -> OwnerObservation {
+        if self.busy_at(t) {
+            OwnerObservation {
+                users_logged_in: 1,
+                cpu_load: 0.6,
+            }
+        } else if self.lingers_at(t) {
+            // Away, but the session is still logged in and nearly idle.
+            OwnerObservation {
+                users_logged_in: 1,
+                cpu_load: 0.03,
+            }
+        } else {
+            OwnerObservation::vacant()
+        }
+    }
+
+    /// Whether the current away-period has a lingering login. Decided
+    /// deterministically per segment from the profile's fraction.
+    fn lingers_at(&mut self, t: Nanos) -> bool {
+        if self.profile.lingering_fraction <= 0.0 {
+            return false;
+        }
+        self.extend_to(t);
+        let idx = self
+            .segments
+            .partition_point(|(start, _)| *start <= t)
+            .saturating_sub(1);
+        // Hash the segment index with a golden-ratio multiplier for a
+        // deterministic pseudo-random per-segment coin.
+        let h = (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let coin = (h >> 11) as f64 / (1u64 << 53) as f64;
+        coin < self.profile.lingering_fraction
+    }
+
+    /// The time of the first owner-state transition strictly after `t`.
+    pub fn next_transition_after(&mut self, t: Nanos) -> Nanos {
+        self.extend_to(t);
+        loop {
+            if let Some(&(start, _)) = self.segments.iter().find(|(start, _)| *start > t) {
+                return start;
+            }
+            self.extend_to(self.horizon + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_idle_never_busy() {
+        let mut tr = OwnerTrace::new(OwnerProfile::always_idle(), 1);
+        for t in [0, SECOND, 3600 * SECOND, 86_400 * SECOND] {
+            assert!(!tr.busy_at(t));
+        }
+    }
+
+    #[test]
+    fn starts_busy_is_respected() {
+        let mut tr = OwnerTrace::new(OwnerProfile::office_worker(), 2);
+        assert!(tr.busy_at(0));
+        let mut tr = OwnerTrace::new(OwnerProfile::mostly_idle(), 2);
+        assert!(!tr.busy_at(0));
+    }
+
+    #[test]
+    fn trace_alternates() {
+        let mut tr = OwnerTrace::new(OwnerProfile::office_worker(), 3);
+        let t1 = tr.next_transition_after(0);
+        let t2 = tr.next_transition_after(t1);
+        assert!(t2 > t1);
+        assert!(tr.busy_at(0));
+        assert!(!tr.busy_at(t1), "first transition flips to idle");
+        assert!(tr.busy_at(t2), "second transition flips back");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut a = OwnerTrace::new(OwnerProfile::office_worker(), 42);
+        let mut b = OwnerTrace::new(OwnerProfile::office_worker(), 42);
+        for i in 0..100 {
+            let t = i * 137 * SECOND;
+            assert_eq!(a.busy_at(t), b.busy_at(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = OwnerTrace::new(OwnerProfile::office_worker(), 1);
+        let mut b = OwnerTrace::new(OwnerProfile::office_worker(), 2);
+        let same = (0..200).all(|i| {
+            let t = i * 311 * SECOND;
+            a.busy_at(t) == b.busy_at(t)
+        });
+        assert!(!same, "distinct seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn observation_reflects_login_state() {
+        let mut tr = OwnerTrace::new(OwnerProfile::office_worker(), 5);
+        let obs = tr.observe(0);
+        assert_eq!(obs.users_logged_in, 1);
+        let idle_at = tr.next_transition_after(0);
+        let obs = tr.observe(idle_at);
+        assert_eq!(obs.users_logged_in, 0);
+    }
+
+    #[test]
+    fn lingering_sessions_show_logged_in_but_quiet() {
+        let mut tr = OwnerTrace::new(OwnerProfile::lingering_office_worker(1.0), 3);
+        let idle_at = tr.next_transition_after(0); // first away period
+        let obs = tr.observe(idle_at);
+        assert_eq!(obs.users_logged_in, 1, "session lingers");
+        assert!(obs.cpu_load < 0.1, "but the machine is quiet");
+        // With fraction 0, the same moment reads vacant.
+        let mut tr0 = OwnerTrace::new(OwnerProfile::office_worker(), 3);
+        let idle0 = tr0.next_transition_after(0);
+        assert_eq!(tr0.observe(idle0).users_logged_in, 0);
+    }
+
+    #[test]
+    fn lingering_fraction_is_roughly_respected() {
+        let mut tr = OwnerTrace::new(OwnerProfile::lingering_office_worker(0.5), 9);
+        let mut lingering = 0;
+        let mut away = 0;
+        let mut t = 0;
+        for _ in 0..400 {
+            t = tr.next_transition_after(t);
+            if !tr.busy_at(t) {
+                away += 1;
+                if tr.observe(t).users_logged_in == 1 {
+                    lingering += 1;
+                }
+            }
+        }
+        let frac = lingering as f64 / away as f64;
+        assert!((0.3..0.7).contains(&frac), "lingering fraction {frac}");
+    }
+
+    #[test]
+    fn mean_durations_are_roughly_right() {
+        // Statistical sanity: average busy segment ≈ mean_busy (±50%).
+        let profile = OwnerProfile {
+            mean_busy: 1000 * SECOND,
+            mean_idle: 1000 * SECOND,
+            starts_busy: true,
+            lingering_fraction: 0.0,
+        };
+        let mut tr = OwnerTrace::new(profile, 7);
+        tr.extend_to(4_000_000 * SECOND);
+        let n = tr.segments.len() - 1;
+        assert!(n > 500, "need many segments, got {n}");
+        let total = tr.segments[n].0;
+        let avg = total / n as u64;
+        assert!(
+            (500 * SECOND..1500 * SECOND).contains(&avg),
+            "avg segment {avg} vs mean 1000s"
+        );
+    }
+}

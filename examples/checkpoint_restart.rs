@@ -1,0 +1,67 @@
+//! Checkpoint/restart (§6 planned extension): run a long job in budgeted
+//! slices, persisting a checkpoint file after each slice; "crash" the
+//! process state; reload the file and finish — in parallel, on a different
+//! number of workers than the serial slicer used.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_restart [chain] [slice_budget]
+//! ```
+
+use phish::apps::pfold::{count_walks, pfold_serial, PfoldSpec};
+use phish::ft::checkpoint::{run_slice, Checkpoint, SliceOutcome};
+use phish::ft::resume_parallel;
+use phish::scheduler::SchedulerConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let chain: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(13);
+    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+
+    let path = std::env::temp_dir().join("phish-demo.ckp");
+    println!("pfold({chain}) in checkpointed slices of {budget} tasks");
+    println!("checkpoint file: {}\n", path.display());
+
+    // Phase 1: run two slices, persisting after each.
+    let mut state = Checkpoint::fresh(PfoldSpec::new(chain, chain));
+    for slice in 1..=2 {
+        match run_slice(state, budget) {
+            SliceOutcome::Done(hist) => {
+                println!("finished during slice {slice} (job smaller than budget)");
+                println!("total foldings: {}", count_walks(&hist));
+                return;
+            }
+            SliceOutcome::Paused(ckp) => {
+                ckp.save(&path).expect("persist checkpoint");
+                println!(
+                    "slice {slice}: {} tasks done, frontier {} specs — saved ({} bytes)",
+                    ckp.steps_done,
+                    ckp.frontier.len(),
+                    std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+                );
+                state = ckp;
+            }
+        }
+    }
+
+    // Phase 2: "the machine crashes" — drop all in-memory state.
+    drop(state);
+    println!("\n-- process state dropped; reloading from disk --\n");
+
+    // Phase 3: reload and finish on 4 workers.
+    let loaded = Checkpoint::<PfoldSpec>::load(&path)
+        .expect("read file")
+        .expect("valid checkpoint");
+    println!(
+        "reloaded: {} tasks already done, {} specs in frontier",
+        loaded.steps_done,
+        loaded.frontier.len()
+    );
+    let (hist, stats) = resume_parallel(SchedulerConfig::paper(4), loaded);
+    println!(
+        "resumed on 4 workers: {} more tasks, {} steals",
+        stats.tasks_executed, stats.tasks_stolen
+    );
+    assert_eq!(hist, pfold_serial(chain), "checkpointed result must be exact");
+    println!("\ntotal foldings: {} — exact, across the restart.", count_walks(&hist));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,58 @@
+//! Fault tolerance demo: workers crash mid-computation and the ledger-based
+//! recovery redoes exactly the lost subtrees — the final answer is
+//! bit-identical to the crash-free run.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerant_run [workers] [chain_len]
+//! ```
+
+use phish::apps::pfold::{pfold_serial, PfoldSpec, DEFAULT_SPAWN_DEPTH};
+use phish::ft::{CrashPlan, FtConfig, RecoveringEngine};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    assert!(workers >= 2, "need a survivor: use at least 2 workers");
+
+    println!("pfold({n}) on {workers} workers; killing workers mid-run\n");
+    let expect = pfold_serial(n);
+
+    let cfg = FtConfig::fast(workers);
+    let spec = PfoldSpec::new(n, DEFAULT_SPAWN_DEPTH);
+
+    let (clean_hist, clean) = RecoveringEngine::run(&cfg, spec, &CrashPlan::none());
+    assert_eq!(clean_hist, expect);
+    println!(
+        "crash-free run:  {:>8} tasks, {:>4} steals, {:>6.1} ms",
+        clean.total_tasks,
+        clean.steals,
+        clean.elapsed.as_secs_f64() * 1e3
+    );
+
+    // Kill worker 1 early and worker 2 midway.
+    let plan = CrashPlan {
+        kill_after_tasks: vec![(1, 50), (2, clean.total_tasks / workers as u64 / 2)],
+    };
+    let spec = PfoldSpec::new(n, DEFAULT_SPAWN_DEPTH);
+    let (hist, r) = RecoveringEngine::run(&cfg, spec, &plan);
+    assert_eq!(hist, expect, "recovery must reproduce the exact histogram");
+
+    println!(
+        "with 2 crashes:  {:>8} tasks, {:>4} steals, {:>6.1} ms",
+        r.total_tasks,
+        r.steals,
+        r.elapsed.as_secs_f64() * 1e3
+    );
+    println!();
+    println!("crashes detected:        {}", r.crashes);
+    println!("subtrees re-enqueued:    {}", r.respawned_subtrees);
+    println!("assignments orphaned:    {}", r.orphaned_assignments);
+    println!("stale reports discarded: {}", r.discarded_reports);
+    println!(
+        "work redone:             {} tasks ({:.1}% overhead)",
+        r.total_tasks.saturating_sub(clean.total_tasks),
+        (r.total_tasks as f64 / clean.total_tasks as f64 - 1.0) * 100.0
+    );
+    println!("\nresult identical to the crash-free run — \"lost work is redone\" (§3).");
+}

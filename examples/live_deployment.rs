@@ -1,0 +1,60 @@
+//! The whole system, live: a threaded deployment where simulated
+//! workstation owners come and go while real pfold work gets done.
+//!
+//! This is Figure 2 of the paper running in one process — PhishJobQ,
+//! per-workstation JobManagers with the paper's polling cadences (scaled
+//! down 10000× so minutes become milliseconds), a Clearinghouse, and
+//! worker bodies executing the actual lattice-folding computation with
+//! data migration on eviction.
+//!
+//! ```sh
+//! cargo run --release --example live_deployment [workstations] [chain]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use phish::apps::pfold::{count_walks, pfold_serial, PfoldSpec};
+use phish::machine::{Deployment, DeploymentConfig, JobSpec, OwnerScript};
+use phish::SpecPoolJob;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workstations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let chain: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(14);
+
+    println!("live deployment: {workstations} workstations, pfold({chain})");
+    println!("(owners of workstations 0 and 1 return mid-run and reclaim their machines)\n");
+
+    // Owners: workstation 0's owner returns at t=150ms, workstation 1's
+    // owner alternates 100ms away / 100ms back; the rest are absent.
+    let mut cfg = DeploymentConfig::dedicated(workstations);
+    let returning: OwnerScript = Arc::new(|t| t > 150_000_000);
+    let flaky: OwnerScript = Arc::new(|t| (t / 100_000_000) % 2 == 1);
+    cfg = cfg.with_owner(0, returning).with_owner(1, flaky);
+
+    let dep = Deployment::start(cfg);
+    let job = Arc::new(SpecPoolJob::new(PfoldSpec::new(chain, 7)));
+    let started = std::time::Instant::now();
+    let id = dep.submit(JobSpec::named(format!("pfold {chain}")), Arc::clone(&job) as _);
+    assert!(
+        dep.wait_job(id, Duration::from_secs(300)),
+        "job did not finish"
+    );
+    let elapsed = started.elapsed();
+    let hist = job.take_result();
+    let stats = dep.shutdown();
+
+    println!("completed in {:.1} ms wall-clock", elapsed.as_secs_f64() * 1e3);
+    println!("total foldings: {}", count_walks(&hist));
+    assert_eq!(hist, pfold_serial(chain), "result must be exact despite churn");
+    println!("result verified exact against the serial fold.\n");
+    println!("participation outcomes:");
+    println!("  ran to completion:    {}", stats.finished_exits);
+    println!("  evicted by owners:    {}", stats.evictions);
+    println!("  left (no work):       {}", stats.shrink_exits);
+    println!(
+        "\nevicted participants migrated their unfinished subtrees back to \
+         the pool (§2: \"the process's data migrates before termination\")."
+    );
+}

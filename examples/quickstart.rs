@@ -1,0 +1,43 @@
+//! Quickstart: run a dynamic parallel computation under the idle-initiated
+//! micro-level scheduler and read off the Table-2-style statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [n] [workers]
+//! ```
+
+use phish::apps::{fib_serial, fib_task};
+use phish::scheduler::{Cont, Engine, SchedulerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("phish quickstart: fib({n}) on {workers} workers");
+    println!("(the paper's fib: naive doubly-recursive, one task per call)\n");
+
+    let serial_start = std::time::Instant::now();
+    let expect = fib_serial(n);
+    let serial = serial_start.elapsed();
+
+    let cfg = SchedulerConfig::paper(workers);
+    let (value, stats) = Engine::run(cfg, fib_task(n, Cont::ROOT));
+    assert_eq!(value, expect, "parallel result must match serial");
+
+    println!("fib({n}) = {value}");
+    println!("\nscheduling statistics (cf. Table 2 of the paper):");
+    println!("{stats}");
+    println!("\nbest-serial time   {:>10.3} ms", serial.as_secs_f64() * 1e3);
+    println!(
+        "parallel time      {:>10.3} ms",
+        stats.elapsed_ns as f64 / 1e6
+    );
+    println!(
+        "serial slowdown    {:>10.2}x  (ratio of 1-worker parallel to best serial; \
+         run with workers=1 to measure it exactly)",
+        stats.elapsed_ns as f64 / serial.as_nanos() as f64
+    );
+    let locality = 1.0
+        - stats.nonlocal_synchronizations as f64 / stats.synchronizations.max(1) as f64;
+    println!("local synchs       {:>10.2}%", locality * 100.0);
+}

@@ -1,0 +1,33 @@
+//! Dump a scheduling trace: watch the idle-initiated schedule unfold —
+//! spawns, steals, non-local synchronizations, the final root post.
+//!
+//! ```sh
+//! cargo run --release --example trace_dump [n] [workers]
+//! ```
+
+use phish::apps::fib_task;
+use phish::scheduler::{Cont, Engine, SchedulerConfig, TraceEventKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let cfg = SchedulerConfig::paper(workers).with_trace(100_000);
+    let (value, stats, trace) = Engine::run_traced(cfg, fib_task(n, Cont::ROOT));
+    println!("fib({n}) = {value} on {workers} workers\n");
+
+    // The full log can be huge; show the interesting events plus a summary.
+    println!("steal edges (thief <- victim), in time order:");
+    for (thief, victim) in trace.steal_edges() {
+        println!("  w{thief} <- w{victim}");
+    }
+    let remote = trace.count_matching(|k| matches!(k, TraceEventKind::PostRemote { .. }));
+    let spawns = trace.count_matching(|k| matches!(k, TraceEventKind::Spawn));
+    let execs = trace.count_matching(|k| matches!(k, TraceEventKind::Exec));
+    println!("\nevents: {} total ({} dropped)", trace.events.len(), trace.dropped);
+    println!("  spawns       {spawns}");
+    println!("  executions   {execs}");
+    println!("  remote posts {remote}");
+    println!("\naggregate stats:\n{stats}");
+}

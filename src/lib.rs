@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # Phish-RS
+//!
+//! A Rust reproduction of **"Scheduling Large-Scale Parallel Computations
+//! on Networks of Workstations"** (Robert D. Blumofe and David S. Park,
+//! HPDC '94) — the *Phish* system, the direct precursor of Cilk and of the
+//! work-stealing schedulers in Rayon, TBB, and ForkJoinPool.
+//!
+//! Phish schedules dynamic parallel computations over a network of
+//! workstations with **idle-initiated** scheduling at two levels:
+//!
+//! * **Macro** ([`machine`]): idle workstations pull jobs from a central
+//!   pool; owners retain sovereignty; space-sharing is preferred over
+//!   time-sharing; workstations join and leave computations as both idle
+//!   cycles and parallelism come and go.
+//! * **Micro** ([`scheduler`]): each participant executes its local ready
+//!   tasks in LIFO order and steals from uniformly random victims in FIFO
+//!   order, preserving memory and communication locality.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`scheduler`] | `phish-core` | micro-level work stealing (engines, deques, join cells, stats) |
+//! | [`machine`] | `phish-macro` | JobQ, JobManager, idleness policies, Clearinghouse |
+//! | [`net`] | `phish-net` | transports: channels, lossy datagrams, retransmission, split-phase |
+//! | [`sim`] | `phish-sim` | deterministic discrete-event simulator (fleet, microsim, sharing) |
+//! | [`ft`] | `phish-ft` | steal ledgers and the crash-recovering engine |
+//! | [`apps`] | `phish-apps` | fib, nqueens, pfold, ray — serial, parallel, and spec forms |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phish::scheduler::{Cont, Engine, SchedulerConfig};
+//! use phish::apps::fib_task;
+//!
+//! let (value, stats) = Engine::run(SchedulerConfig::paper(4), fib_task(20, Cont::ROOT));
+//! assert_eq!(value, 6765);
+//! println!("{stats}"); // the Table 2 statistics block
+//! ```
+
+pub mod livejob;
+
+pub use livejob::SpecPoolJob;
+
+/// Micro-level scheduler (re-export of `phish-core`).
+pub mod scheduler {
+    pub use phish_core::*;
+}
+
+/// Macro-level scheduler (re-export of `phish-macro`).
+pub mod machine {
+    pub use phish_macro::*;
+}
+
+/// Network substrate (re-export of `phish-net`).
+pub mod net {
+    pub use phish_net::*;
+}
+
+/// Discrete-event simulator (re-export of `phish-sim`).
+pub mod sim {
+    pub use phish_sim::*;
+}
+
+/// Fault tolerance (re-export of `phish-ft`).
+pub mod ft {
+    pub use phish_ft::*;
+}
+
+/// Applications (re-export of `phish-apps`).
+pub mod apps {
+    pub use phish_apps::*;
+}

@@ -1,0 +1,188 @@
+//! A spec-task job for the live deployment: the glue between the
+//! macro level (workstations joining and leaving) and the micro level
+//! (a dynamic pool of self-describing tasks).
+//!
+//! [`SpecPoolJob`] holds a job's shared state — a frontier of ready specs,
+//! an outstanding-task counter, and the merged partial result — and
+//! implements [`WorkerBody`] so any number of workstations can participate
+//! concurrently, join mid-run, and leave at any moment:
+//!
+//! * an **evicted** participant pushes its unexecuted local tasks back to
+//!   the shared frontier before leaving ("the process's data migrates
+//!   before termination to another process of the same parallel job", §2);
+//! * a participant that finds the frontier empty while others still hold
+//!   work exits with `ParallelismShrank`, releasing its workstation to the
+//!   macro scheduler ("as the parallelism in an application shrinks, some
+//!   of its participating processes die", §2);
+//! * the last task's completion marks the job finished for everyone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use phish_core::{SpecStep, SpecTask};
+use phish_macro::{ParticipantExit, WorkerBody};
+
+/// Shared state of one spec job running under a [`phish_macro::Deployment`].
+pub struct SpecPoolJob<S: SpecTask> {
+    frontier: Mutex<Vec<S>>,
+    /// Specs spawned but not yet stepped (including those in participants'
+    /// local stacks). Zero ⇒ job complete.
+    outstanding: AtomicU64,
+    acc: Mutex<S::Output>,
+    done: AtomicBool,
+    /// Failed frontier grabs before a participant decides parallelism
+    /// shrank.
+    patience: u32,
+    /// How many tasks a participant takes from the frontier per grab.
+    grab: usize,
+}
+
+impl<S: SpecTask> SpecPoolJob<S> {
+    /// A job rooted at `root`.
+    pub fn new(root: S) -> Self {
+        Self {
+            frontier: Mutex::new(vec![root]),
+            outstanding: AtomicU64::new(1),
+            acc: Mutex::new(S::identity()),
+            done: AtomicBool::new(false),
+            patience: 50,
+            grab: 4,
+        }
+    }
+
+    /// True once every task has executed.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Takes the final result; panics if the job is not done. Idempotent
+    /// callers should take it once.
+    pub fn take_result(&self) -> S::Output {
+        assert!(self.is_done(), "job not finished");
+        std::mem::replace(&mut *self.acc.lock(), S::identity())
+    }
+
+    fn merge_into_global(&self, local: S::Output) {
+        let mut acc = self.acc.lock();
+        let old = std::mem::replace(&mut *acc, S::identity());
+        *acc = S::merge(old, local);
+    }
+
+    fn finish_tasks(&self, n: u64) {
+        if self.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+}
+
+impl<S: SpecTask> WorkerBody for SpecPoolJob<S> {
+    fn run(&self, _ws: usize, evict: &std::sync::atomic::AtomicBool) -> ParticipantExit {
+        let mut local: Vec<S> = Vec::new();
+        let mut local_acc = S::identity();
+        let mut dry_grabs = 0u32;
+        loop {
+            if evict.load(Ordering::Acquire) {
+                // Data migration: unfinished tasks go back to the pool.
+                if !local.is_empty() {
+                    self.frontier.lock().append(&mut local);
+                }
+                self.merge_into_global(local_acc);
+                return ParticipantExit::Evicted;
+            }
+            if self.is_done() {
+                self.merge_into_global(local_acc);
+                return ParticipantExit::JobFinished;
+            }
+            let Some(spec) = local.pop() else {
+                // Local stack dry: grab a batch from the shared frontier
+                // (the macro-level analogue of stealing).
+                let mut f = self.frontier.lock();
+                let n = f.len().min(self.grab);
+                if n == 0 {
+                    drop(f);
+                    dry_grabs += 1;
+                    if dry_grabs > self.patience {
+                        // Parallelism shrank below the participant count.
+                        self.merge_into_global(local_acc);
+                        return ParticipantExit::ParallelismShrank;
+                    }
+                    std::thread::yield_now();
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                }
+                let split_at = f.len() - n;
+                local.extend(f.drain(split_at..));
+                drop(f);
+                dry_grabs = 0;
+                continue;
+            };
+            match spec.step() {
+                SpecStep::Leaf(out) => {
+                    local_acc = S::merge(local_acc, out);
+                    self.finish_tasks(1);
+                }
+                SpecStep::Expand { children, partial } => {
+                    local_acc = S::merge(local_acc, partial);
+                    self.outstanding
+                        .fetch_add(children.len() as u64, Ordering::AcqRel);
+                    local.extend(children);
+                    self.finish_tasks(1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use phish_apps::pfold::{pfold_serial, PfoldSpec};
+    use phish_apps::{nqueens_serial, NQueensSpec};
+    use phish_macro::{Deployment, DeploymentConfig, JobSpec, OwnerScript};
+
+    #[test]
+    fn spec_pool_job_completes_exactly() {
+        let dep = Deployment::start(DeploymentConfig::dedicated(3));
+        let job = Arc::new(SpecPoolJob::new(PfoldSpec::new(11, 6)));
+        let id = dep.submit(JobSpec::named("pfold"), Arc::clone(&job) as _);
+        assert!(dep.wait_job(id, Duration::from_secs(30)), "job timed out");
+        assert!(job.is_done());
+        assert_eq!(job.take_result(), pfold_serial(11));
+        dep.shutdown();
+    }
+
+    #[test]
+    fn eviction_migrates_work_and_result_stays_exact() {
+        // Workstation 0's owner returns after 50ms and stays; the job is
+        // big enough to still be running then. The remaining workstation
+        // finishes everything the evicted one returned to the pool.
+        let owner: OwnerScript = Arc::new(|t| t > 50_000_000);
+        let cfg = DeploymentConfig::dedicated(2).with_owner(0, owner);
+        let dep = Deployment::start(cfg);
+        let job = Arc::new(SpecPoolJob::new(NQueensSpec::new(11, 5)));
+        let id = dep.submit(JobSpec::named("nqueens"), Arc::clone(&job) as _);
+        assert!(dep.wait_job(id, Duration::from_secs(60)), "job timed out");
+        assert_eq!(job.take_result(), nqueens_serial(11));
+        dep.shutdown();
+    }
+
+    #[test]
+    fn participants_leave_when_parallelism_shrinks() {
+        // A tiny job on many workstations: most participants find the pool
+        // dry and exit with ParallelismShrank.
+        let dep = Deployment::start(DeploymentConfig::dedicated(4));
+        let job = Arc::new(SpecPoolJob::new(PfoldSpec::new(7, 4)));
+        let id = dep.submit(JobSpec::named("tiny"), Arc::clone(&job) as _);
+        assert!(dep.wait_job(id, Duration::from_secs(30)));
+        assert_eq!(job.take_result(), pfold_serial(7));
+        let stats = dep.shutdown();
+        assert!(
+            stats.finished_exits >= 1,
+            "someone must finish the job: {stats:?}"
+        );
+    }
+}

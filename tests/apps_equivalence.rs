@@ -1,0 +1,107 @@
+//! Property tests: every application computes the same answer in every
+//! form (best-serial, continuation-passing parallel, spec) under every
+//! scheduler configuration and worker count.
+
+use proptest::prelude::*;
+
+use phish::apps::pfold::{pfold_serial, pfold_task, PfoldSpec};
+use phish::apps::{
+    fib_serial, fib_task, nqueens_serial, nqueens_task, FibSpec, NQueensSpec,
+};
+use phish::scheduler::{
+    run_serial, Cont, Engine, ExecOrder, SchedulerConfig, SpecEngine, StealEnd, StealProtocol,
+    VictimPolicy,
+};
+
+fn cfg_strategy() -> impl Strategy<Value = SchedulerConfig> {
+    (
+        1usize..=4,
+        prop_oneof![Just(ExecOrder::Lifo), Just(ExecOrder::Fifo)],
+        prop_oneof![Just(StealEnd::Tail), Just(StealEnd::Head)],
+        prop_oneof![
+            Just(VictimPolicy::UniformRandom),
+            Just(VictimPolicy::RoundRobin)
+        ],
+        prop_oneof![
+            Just(StealProtocol::SharedMemory),
+            Just(StealProtocol::Message)
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(workers, exec_order, steal_end, victim, protocol, seed)| {
+            let mut c = SchedulerConfig::paper(workers).with_seed(seed);
+            c.exec_order = exec_order;
+            c.steal_end = steal_end;
+            c.victim_policy = victim;
+            c.steal_protocol = protocol;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fib_all_forms_agree(n in 5u64..18, cfg in cfg_strategy()) {
+        let expect = fib_serial(n);
+        let (cps, _) = Engine::run(cfg, fib_task(n, Cont::ROOT));
+        prop_assert_eq!(cps, expect);
+        prop_assert_eq!(run_serial(FibSpec { n }), expect);
+        let (spec, _) = SpecEngine::run(cfg, FibSpec { n });
+        prop_assert_eq!(spec, expect);
+    }
+
+    #[test]
+    fn nqueens_all_forms_agree(n in 4u32..9, depth in 0u32..4, cfg in cfg_strategy()) {
+        let expect = nqueens_serial(n);
+        let (cps, _) = Engine::run(cfg, nqueens_task(n, depth, Cont::ROOT));
+        prop_assert_eq!(cps, expect);
+        let (spec, _) = SpecEngine::run(cfg, NQueensSpec::new(n, depth));
+        prop_assert_eq!(spec, expect);
+    }
+
+    #[test]
+    fn pfold_all_forms_agree(n in 2usize..9, depth in 1usize..6, cfg in cfg_strategy()) {
+        let expect = pfold_serial(n);
+        let (cps, _) = Engine::run(cfg, pfold_task(n, depth, Cont::ROOT));
+        prop_assert_eq!(&cps, &expect);
+        let (spec, _) = SpecEngine::run(cfg, PfoldSpec::new(n, depth));
+        prop_assert_eq!(&spec, &expect);
+    }
+
+    #[test]
+    fn stats_invariants_hold(n in 8u64..16, cfg in cfg_strategy()) {
+        let (_, stats) = Engine::run(cfg, fib_task(n, Cont::ROOT));
+        // Tasks: root plus everything spawned (continuations run inline as
+        // tasks, so executed ≥ spawned).
+        prop_assert!(stats.tasks_executed >= stats.tasks_spawned);
+        // Every synchronization is local or non-local.
+        prop_assert!(stats.nonlocal_synchronizations <= stats.synchronizations);
+        // Every non-local synch is a message; steal traffic only adds more.
+        prop_assert!(stats.messages_sent >= stats.nonlocal_synchronizations);
+        // The working set is bounded by depth × branching, far below the
+        // task count for any non-trivial tree.
+        prop_assert!(stats.max_tasks_in_use >= 1);
+        // Stolen tasks were all spawned (or the root).
+        prop_assert!(stats.tasks_stolen <= stats.tasks_executed);
+        prop_assert_eq!(stats.per_worker.len(), cfg.workers);
+    }
+}
+
+#[test]
+fn ray_parallel_identical_under_every_protocol() {
+    use phish::apps::ray::{benchmark_scene, render_serial, render_task};
+    use std::sync::Arc;
+    let (scene, cam) = benchmark_scene();
+    let expect = render_serial(&scene, &cam, 24, 24);
+    let scene = Arc::new(scene);
+    for protocol in [StealProtocol::SharedMemory, StealProtocol::Message] {
+        let mut cfg = SchedulerConfig::paper(3);
+        cfg.steal_protocol = protocol;
+        let (band, _) = Engine::run(
+            cfg,
+            render_task(Arc::clone(&scene), cam, 24, 24, 3, Cont::ROOT),
+        );
+        assert_eq!(band.pixels, expect, "{protocol:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration: the macro level (JobQ + JobManagers +
+//! Clearinghouse) drives real micro-level executions.
+//!
+//! This is the whole Figure 2 pipeline in one process: jobs are submitted
+//! to the PhishJobQ; simulated workstations become idle, request work, and
+//! run actual `phish_core::Engine` computations as their "worker
+//! processes"; the Clearinghouse tracks the participants.
+
+use phish::apps::{fib_serial, fib_task, nqueens_serial, nqueens_task};
+use phish::machine::{
+    Clearinghouse, JobManager, JobQ, JobSpec, ManagerAction, NobodyLoggedIn, OwnerObservation,
+};
+use phish::net::time::SECOND;
+use phish::net::NodeId;
+use phish::scheduler::{Cont, Engine, SchedulerConfig};
+
+const IDLE: OwnerObservation = OwnerObservation {
+    users_logged_in: 0,
+    cpu_load: 0.0,
+};
+
+#[test]
+fn jobq_to_engine_pipeline() {
+    let mut jobq = JobQ::new();
+    let fib_job = jobq.submit(JobSpec::named("fib 22"));
+    let nq_job = jobq.submit(JobSpec::named("nqueens 9"));
+    let mut clearinghouse = Clearinghouse::new();
+
+    // Two workstations come idle and pull jobs round-robin.
+    let mut results: Vec<(String, u64)> = Vec::new();
+    for ws in 0..2u32 {
+        let mut manager = JobManager::new(Box::new(NobodyLoggedIn), 0);
+        let t = 300 * SECOND; // first owner poll
+        let actions = manager.tick(t, &IDLE);
+        assert_eq!(actions, vec![ManagerAction::RequestJob]);
+        let assignment = jobq.request().expect("two jobs pooled");
+        let started = manager.on_job_reply(t, Some(assignment.clone()));
+        assert!(matches!(started[0], ManagerAction::StartWorker(_)));
+
+        // The "worker process": register, run the real engine, unregister.
+        let roster = clearinghouse.register(NodeId(ws), t);
+        // The previous workstation already unregistered, so each join sees
+        // itself as the only participant.
+        assert_eq!(roster.participants.len(), 1);
+        let value = if assignment.job == fib_job {
+            let (v, _) = Engine::run(SchedulerConfig::paper(2), fib_task(22, Cont::ROOT));
+            v
+        } else {
+            let (v, _) = Engine::run(
+                SchedulerConfig::paper(2),
+                nqueens_task(9, 3, Cont::ROOT),
+            );
+            v
+        };
+        clearinghouse.write_line(NodeId(ws), format!("result {value}"));
+        clearinghouse.unregister(NodeId(ws));
+        jobq.release(assignment.job);
+        results.push((assignment.name.clone(), value));
+    }
+
+    // Round-robin must have given one workstation each job.
+    let names: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["fib 22", "nqueens 9"]);
+    assert_eq!(results[0].1, fib_serial(22));
+    assert_eq!(results[1].1, nqueens_serial(9));
+
+    jobq.complete(fib_job);
+    jobq.complete(nq_job);
+    assert!(jobq.is_empty());
+    clearinghouse.flush_io();
+    assert_eq!(clearinghouse.output().len(), 2);
+    assert_eq!(clearinghouse.participant_count(), 0);
+}
+
+#[test]
+fn owner_return_kills_participation_but_job_survives() {
+    // A workstation joins, the owner comes back, the manager kills the
+    // worker — and the job can still be completed by another machine.
+    let mut jobq = JobQ::new();
+    let job = jobq.submit(JobSpec::named("pfold"));
+    let mut manager = JobManager::new(Box::new(NobodyLoggedIn), 0);
+    let t0 = 300 * SECOND;
+    manager.tick(t0, &IDLE);
+    let assignment = jobq.request().expect("job pooled");
+    manager.on_job_reply(t0, Some(assignment.clone()));
+
+    // Owner returns; within 2 seconds the worker is killed.
+    let busy = OwnerObservation {
+        users_logged_in: 1,
+        cpu_load: 0.7,
+    };
+    let actions = manager.tick(t0 + 2 * SECOND, &busy);
+    assert!(matches!(actions[0], ManagerAction::KillWorker(_)));
+    jobq.release(assignment.job);
+
+    // The job remains pooled; another workstation picks it up and finishes.
+    let again = jobq.request().expect("job still in pool");
+    assert_eq!(again.job, job);
+    let (v, _) = Engine::run(SchedulerConfig::paper(2), fib_task(18, Cont::ROOT));
+    assert_eq!(v, fib_serial(18));
+    jobq.complete(job);
+}
+
+#[test]
+fn retirement_feeds_macro_scheduler() {
+    // Micro-level retirement (parallelism shrank) frees the workstation,
+    // whose manager immediately asks the JobQ for new work.
+    use phish::scheduler::RetirePolicy;
+
+    let mut cfg = SchedulerConfig::paper(4);
+    cfg.retire = RetirePolicy::AfterFailedRounds(2);
+    // A small job: most workers find nothing to steal and retire.
+    let (v, stats) = Engine::run(cfg, fib_task(12, Cont::ROOT));
+    assert_eq!(v, fib_serial(12));
+    assert_eq!(stats.per_worker.len(), 4);
+
+    // The freed workstation's manager goes back to the JobQ.
+    let mut jobq = JobQ::new();
+    let other = jobq.submit(JobSpec::named("other"));
+    let mut manager = JobManager::new(Box::new(NobodyLoggedIn), 0);
+    let t0 = 300 * SECOND;
+    manager.tick(t0, &IDLE);
+    let a = jobq.request().expect("other job available");
+    let actions = manager.on_job_reply(t0, Some(a));
+    assert!(matches!(actions[0], ManagerAction::StartWorker(_)));
+    let _ = other;
+}
+
+#[test]
+fn clearinghouse_tracks_a_full_job_lifecycle() {
+    let mut ch = Clearinghouse::with_flush_threshold(4);
+    let t0 = 0;
+    // Eight workers join over time, update, and leave.
+    for w in 0..8u32 {
+        ch.register(NodeId(w), t0 + u64::from(w) * SECOND);
+    }
+    assert_eq!(ch.participant_count(), 8);
+    let roster = ch.update(NodeId(0), t0 + 10 * SECOND);
+    assert_eq!(roster.participants.len(), 8);
+    for w in 0..8u32 {
+        ch.write_line(NodeId(w), "partial histogram sent");
+    }
+    for w in 0..8u32 {
+        ch.unregister(NodeId(w));
+    }
+    ch.flush_io();
+    assert_eq!(ch.participant_count(), 0);
+    assert_eq!(ch.output().len(), 8);
+    let s = ch.stats();
+    assert_eq!(s.registrations, 8);
+    assert_eq!(s.unregistrations, 8);
+    assert!(s.io_flushes >= 2, "threshold 4 over 8 lines: ≥2 flushes");
+}

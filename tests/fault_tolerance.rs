@@ -1,0 +1,89 @@
+//! Property tests of crash recovery: for arbitrary crash points, the
+//! recovering engine's answer equals the serial answer, and the recovery
+//! accounting is consistent.
+
+use proptest::prelude::*;
+
+use phish::apps::pfold::{pfold_serial, PfoldSpec};
+use phish::apps::{nqueens_serial, NQueensSpec};
+use phish::ft::{CrashPlan, FtConfig, RecoveringEngine};
+
+proptest! {
+    // Each case spins up real threads with heartbeats; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pfold_exact_under_random_crashes(
+        kill1 in 5u64..400,
+        kill2 in 5u64..400,
+        seed in any::<u64>(),
+    ) {
+        let n = 11;
+        let expect = pfold_serial(n);
+        let plan = CrashPlan { kill_after_tasks: vec![(1, kill1), (2, kill2)] };
+        let cfg = FtConfig { seed, ..FtConfig::fast(4) };
+        let (hist, report) = RecoveringEngine::run(&cfg, PfoldSpec::new(n, 5), &plan);
+        prop_assert_eq!(hist, expect);
+        prop_assert!(report.crashes <= 2);
+        // A worker that never reached its kill count survives.
+        prop_assert!(report.per_worker_tasks[1] <= kill1);
+        prop_assert!(report.per_worker_tasks[2] <= kill2);
+    }
+
+    #[test]
+    fn nqueens_exact_under_one_crash(kill in 1u64..200, seed in any::<u64>()) {
+        let n = 8;
+        let expect = nqueens_serial(n);
+        let cfg = FtConfig { seed, ..FtConfig::fast(3) };
+        let (v, report) = RecoveringEngine::run(
+            &cfg,
+            NQueensSpec::new(n, 3),
+            &CrashPlan::kill(1, kill),
+        );
+        prop_assert_eq!(v, expect);
+        prop_assert!(report.crashes <= 1);
+    }
+}
+
+#[test]
+fn crash_accounting_is_consistent() {
+    let n = 11;
+    let expect = pfold_serial(n);
+    let (hist, r) = RecoveringEngine::run(
+        &FtConfig::fast(4),
+        PfoldSpec::new(n, 5),
+        &CrashPlan::kill(1, 100),
+    );
+    assert_eq!(hist, expect);
+    if r.crashes == 1 {
+        // If the dead worker had stolen anything, those subtrees must have
+        // been re-enqueued by their victims (or the root re-assigned).
+        let dead_worked = r.per_worker_tasks[1] > 0;
+        assert!(
+            !dead_worked || r.respawned_subtrees > 0 || r.per_worker_tasks[1] < 100,
+            "dead worker did work that nobody re-enqueued: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn survivors_finish_even_when_most_workers_die() {
+    let n = 12;
+    let expect = pfold_serial(n);
+    // 5 workers; 4 die at staggered points. The survivor must finish.
+    // (How many actually reach their kill count before the job ends is
+    // timing-dependent; exactness of the result is not.)
+    let plan = CrashPlan {
+        kill_after_tasks: vec![(1, 10), (2, 30), (3, 60), (4, 90)],
+    };
+    let (hist, r) = RecoveringEngine::run(&FtConfig::fast(5), PfoldSpec::new(n, 6), &plan);
+    assert_eq!(hist, expect);
+    for (w, cap) in [(1, 10), (2, 30), (3, 60), (4, 90)] {
+        assert!(
+            r.per_worker_tasks[w] <= cap,
+            "worker {w} outlived its kill point: {} > {cap}",
+            r.per_worker_tasks[w]
+        );
+    }
+    assert!(r.crashes >= 1, "at least the earliest kill must be detected");
+}

@@ -1,0 +1,92 @@
+//! Regression guards for the paper's qualitative claims, at test scale.
+//! If a scheduler change breaks one of these shapes, the corresponding
+//! experiment (EXPERIMENTS.md) would silently degrade — fail fast here.
+
+use phish::apps::pfold::{count_walks, pfold_task};
+use phish::apps::{fib_serial, fib_task};
+use phish::scheduler::{Cont, Engine, ExecOrder, SchedulerConfig};
+
+#[test]
+fn table2_shape_working_set_is_tiny_and_p_independent() {
+    // pfold at task-per-node grain: max tasks in use must be tens,
+    // regardless of the task count and of the participant count.
+    let chain = 12;
+    let (h2, s2) = Engine::run(
+        SchedulerConfig::paper(2),
+        pfold_task(chain, chain, Cont::ROOT),
+    );
+    let (h4, s4) = Engine::run(
+        SchedulerConfig::paper(4),
+        pfold_task(chain, chain, Cont::ROOT),
+    );
+    assert_eq!(h2, h4, "result independent of P");
+    assert!(count_walks(&h2) > 100_000);
+    assert!(s2.tasks_executed > 200_000);
+    for s in [&s2, &s4] {
+        assert!(
+            s.max_tasks_in_use < 150,
+            "working set {} should be O(depth), not O({})",
+            s.max_tasks_in_use,
+            s.tasks_executed
+        );
+    }
+    // Steals are orders of magnitude below tasks (they can be zero on a
+    // loaded single-core host; the paper's point is the upper bound).
+    assert!(s4.tasks_stolen * 100 < s4.tasks_executed);
+    // Synchronizations track tasks: every leaf and continuation posts once.
+    assert!(s2.synchronizations * 2 > s2.tasks_executed);
+    assert!(s2.synchronizations <= s2.tasks_executed);
+    // Locality: non-local synchs bounded by messages, vastly below synchs.
+    assert!(s4.nonlocal_synchronizations <= s4.messages_sent);
+    assert!(s4.nonlocal_synchronizations * 100 < s4.synchronizations.max(100));
+}
+
+#[test]
+fn table1_shape_fine_grain_pays_coarse_grain_does_not() {
+    // fib's per-task work is ~nothing: parallel-1-worker must be far
+    // slower than serial. pfold at coarse grain must be within ~2x.
+    use std::time::Instant;
+    let cfg = SchedulerConfig::paper(1);
+
+    let t0 = Instant::now();
+    let expect = fib_serial(22);
+    let serial_fib = t0.elapsed();
+    let t0 = Instant::now();
+    let (v, _) = Engine::run(cfg, fib_task(22, Cont::ROOT));
+    let parallel_fib = t0.elapsed();
+    assert_eq!(v, expect);
+    assert!(
+        parallel_fib > serial_fib * 5,
+        "fib must pay heavily for its grain: {parallel_fib:?} vs {serial_fib:?}"
+    );
+
+    use phish::apps::pfold::{pfold_serial, DEFAULT_SPAWN_DEPTH};
+    let t0 = Instant::now();
+    let expect = pfold_serial(12);
+    let serial_pf = t0.elapsed();
+    let t0 = Instant::now();
+    let (h, _) = Engine::run(cfg, pfold_task(12, DEFAULT_SPAWN_DEPTH, Cont::ROOT));
+    let parallel_pf = t0.elapsed();
+    assert_eq!(h, expect);
+    assert!(
+        parallel_pf < serial_pf * 3,
+        "coarse pfold must stay near serial: {parallel_pf:?} vs {serial_pf:?}"
+    );
+}
+
+#[test]
+fn ablation_shape_lifo_bounds_the_ready_list() {
+    let chain = 11;
+    let mut lifo = SchedulerConfig::paper(1);
+    lifo.exec_order = ExecOrder::Lifo;
+    let (_, sl) = Engine::run(lifo, pfold_task(chain, chain, Cont::ROOT));
+    let mut fifo = SchedulerConfig::paper(1);
+    fifo.exec_order = ExecOrder::Fifo;
+    let (_, sf) = Engine::run(fifo, pfold_task(chain, chain, Cont::ROOT));
+    assert!(
+        sl.max_tasks_in_use * 100 < sf.max_tasks_in_use,
+        "LIFO {} vs FIFO {}: the locality claim must hold by orders of magnitude",
+        sl.max_tasks_in_use,
+        sf.max_tasks_in_use
+    );
+}

@@ -1,0 +1,95 @@
+//! End-to-end through the RPC services: workstations obtain jobs from the
+//! PhishJobQ *over RPC*, register with the Clearinghouse *over RPC*, do
+//! real work, report output through the Clearinghouse, and complete the
+//! job — the paper's Figure 2/3 with every arrow an actual message.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use phish::apps::pfold::{count_walks, pfold_serial, PfoldSpec};
+use phish::machine::{AssignPolicy, ClearinghouseService, JobQService, JobSpec};
+use phish::scheduler::run_serial;
+
+const T: Duration = Duration::from_secs(30);
+
+#[test]
+fn full_rpc_pipeline_with_real_work() {
+    let workers = 3;
+    let mut jobq = JobQService::start(AssignPolicy::RoundRobin, workers + 1);
+    let mut ch = ClearinghouseService::start(workers, Duration::from_secs(120));
+
+    // A user submits pfold.
+    let mut user = jobq.take_client(workers);
+    let job = user
+        .submit(JobSpec::named("pfold 11"), T)
+        .expect("submission");
+
+    // Shared frontier for the participants (the job's "shared state").
+    let pool = Arc::new(phish::SpecPoolJob::new(PfoldSpec::new(11, 6)));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let mut jq = jobq.take_client(i);
+            let mut chc = ch.take_client(i);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                // Idle workstation: request a job over RPC.
+                let assignment = jq.request_job(T).expect("assignment");
+                assert_eq!(assignment.name, "pfold 11");
+                // Worker process: register over RPC.
+                let roster = chc.register(T).expect("roster");
+                assert!(!roster.participants.is_empty());
+                // Participate (no evictions in this test).
+                let evict = std::sync::atomic::AtomicBool::new(false);
+                use phish::machine::WorkerBody;
+                let exit = pool.run(i, &evict);
+                chc.write_line(format!("exit: {exit:?}"), T);
+                chc.unregister(T);
+                jq.release(assignment.job, T);
+                exit
+            })
+        })
+        .collect();
+    let exits: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(exits
+        .iter()
+        .any(|e| matches!(e, phish::machine::ParticipantExit::JobFinished)));
+
+    // One participant (or the user) reports completion.
+    assert!(user.complete(job, T));
+    assert!(pool.is_done());
+    let hist = pool.take_result();
+    assert_eq!(hist, pfold_serial(11), "RPC pipeline must be exact");
+    assert_eq!(count_walks(&hist), count_walks(&run_serial(PfoldSpec::new(11, 6))));
+
+    let final_q = jobq.shutdown();
+    assert!(final_q.is_empty(), "completed job must leave the pool");
+    let (stats, output) = ch.shutdown();
+    assert_eq!(stats.registrations, workers as u64);
+    assert_eq!(stats.unregistrations, workers as u64);
+    assert_eq!(output.len(), workers, "every participant logged its exit");
+}
+
+#[test]
+fn rpc_crash_detection_feeds_recovery_signal() {
+    // Two registered workers; one goes silent. The survivor learns about
+    // the crash through the Clearinghouse RPC — the signal the recovery
+    // layer consumes.
+    let mut ch = ClearinghouseService::start(2, Duration::from_millis(60));
+    let mut survivor = ch.take_client(0);
+    let mut casualty = ch.take_client(1);
+    survivor.register(T).unwrap();
+    casualty.register(T).unwrap();
+    drop(casualty); // silence
+    let mut crashed = Vec::new();
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(10));
+        survivor.heartbeat(T);
+        crashed = survivor.take_crashed(T);
+        if !crashed.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(crashed.len(), 1, "silent worker must be reported");
+    ch.shutdown();
+}

@@ -1,0 +1,161 @@
+//! Integration tests of the discrete-event simulator against the real
+//! applications: exactness at any participant count, paper-shaped speedup
+//! curves, and macro-level dynamics.
+
+use phish::apps::pfold::{count_walks, pfold_serial, PfoldSpec};
+use phish::apps::FibSpec;
+use phish::net::time::SECOND;
+use phish::sim::microsim::ScaleCost;
+use phish::sim::{
+    gang_timeshare, paper_scenario, run_fleet, run_microsim, space_share, FleetConfig, LinkModel,
+    MicroSimConfig, MicroVictimPolicy, OwnerProfile, SimJobSpec, Topology,
+};
+
+#[test]
+fn microsim_pfold_exact_at_every_p() {
+    let n = 10;
+    let expect = pfold_serial(n);
+    for p in [1, 2, 8, 32] {
+        let cfg = MicroSimConfig::ethernet(p);
+        let (hist, report) = run_microsim(&cfg, PfoldSpec::new(n, 5));
+        assert_eq!(hist, expect, "P = {p}");
+        assert_eq!(
+            count_walks(&hist),
+            count_walks(&expect),
+            "walk count mismatch at P = {p}"
+        );
+        assert!(report.tasks_executed > 0);
+    }
+}
+
+#[test]
+fn microsim_speedup_is_near_linear_for_pfold() {
+    // Figure 5's shape: near-linear speedup to 32 participants.
+    // Scale virtual task costs so the run is seconds of virtual time, like
+    // the paper's (their pfold T_1 was ~600s); otherwise the 3ms steal RTT
+    // dominates a millisecond-scale tree.
+    let n = 13;
+    let t = |p: usize| {
+        run_microsim(
+            &MicroSimConfig::ethernet(p),
+            ScaleCost::new(PfoldSpec::new(n, 7), 1000),
+        )
+        .1
+        .completion_ns
+    };
+    let t1 = t(1);
+    for (p, floor) in [(2, 1.7), (4, 3.2), (8, 6.0), (16, 11.0), (32, 20.0)] {
+        let sp = t1 as f64 / t(p) as f64;
+        assert!(sp > floor, "S_{p} = {sp:.2} below {floor}");
+        assert!(sp <= p as f64 + 0.01, "S_{p} = {sp:.2} super-linear?");
+    }
+}
+
+#[test]
+fn microsim_fib_shows_overhead_but_still_scales() {
+    // fib's grain is tiny; on the 1994-Ethernet model the steal RTT is
+    // enormous relative to task cost, yet FIFO stealing still moves big
+    // subtrees, so speedup remains substantial.
+    let t = |p: usize| {
+        run_microsim(
+            &MicroSimConfig::ethernet(p),
+            ScaleCost::new(FibSpec { n: 22 }, 10_000),
+        )
+        .1
+        .completion_ns
+    };
+    let t1 = t(1);
+    let t8 = t(8);
+    let s8 = t1 as f64 / t8 as f64;
+    assert!(s8 > 3.0, "fib 8-way speedup {s8:.2} collapsed");
+}
+
+#[test]
+fn microsim_steals_scale_with_p_not_with_tasks() {
+    // Table 2: 70 steals at 4 participants, 133 at 8 — steals grow with P,
+    // not with the 10M tasks.
+    let n = 13;
+    let r4 = run_microsim(&MicroSimConfig::ethernet(4), PfoldSpec::new(n, 7)).1;
+    let r8 = run_microsim(&MicroSimConfig::ethernet(8), PfoldSpec::new(n, 7)).1;
+    assert_eq!(r4.tasks_executed, r8.tasks_executed, "same tree");
+    assert!(r4.steals < r4.tasks_executed / 50);
+    assert!(r8.steals < r8.tasks_executed / 25);
+    assert!(
+        r8.steals > r4.steals / 4,
+        "more participants should steal at least comparably often"
+    );
+}
+
+#[test]
+fn cut_aware_stealing_reduces_inter_cluster_traffic_without_losing_speed() {
+    let topo = || {
+        Topology::clustered(2, 8, LinkModel::atm_1995(), LinkModel::ethernet_1994())
+    };
+    let base = MicroSimConfig {
+        topology: topo(),
+        victim: MicroVictimPolicy::Uniform,
+        seed: 3,
+        sched_overhead: 200,
+        msg_bytes: 64,
+    };
+    let biased = MicroSimConfig {
+        victim: MicroVictimPolicy::ClusterFirst { local_attempts: 4 },
+        topology: topo(),
+        ..base.clone()
+    };
+    let spec = || ScaleCost::new(PfoldSpec::new(12, 6), 1000);
+    let (hu, ru) = run_microsim(&base, spec());
+    let (hb, rb) = run_microsim(&biased, spec());
+    assert_eq!(hu, hb, "victim policy must not change the answer");
+    assert!(rb.inter_cluster_bytes < ru.inter_cluster_bytes);
+    assert!(
+        (rb.completion_ns as f64) < ru.completion_ns as f64 * 1.25,
+        "cut-awareness should not cost much time: {} vs {}",
+        rb.completion_ns,
+        ru.completion_ns
+    );
+}
+
+#[test]
+fn fleet_thousand_workstations_scalability() {
+    // The §3 conjecture: "we conjecture that Phish can be scaled to over a
+    // thousand workstations." The JobQ must stay far below saturation.
+    let jobs = vec![
+        SimJobSpec::uniform("big-a", 20_000 * SECOND, 600),
+        SimJobSpec::uniform("big-b", 20_000 * SECOND, 600),
+    ];
+    let cfg = FleetConfig {
+        workstations: 1000,
+        owner_profile: OwnerProfile::mostly_idle(),
+        seed: 11,
+        jobs,
+        shrink_detect_delay: 2 * SECOND,
+        max_time: 8 * 3600 * SECOND,
+        assign_policy: Default::default(),
+        idleness: phish::sim::IdlenessChoice::NobodyLoggedIn,
+    };
+    let r = run_fleet(&cfg);
+    assert!(r.completions.iter().all(|c| c.is_some()), "{:?}", r.completions);
+    // 1000 workstations, yet the JobQ sees only a trickle.
+    assert!(
+        r.jobq_msgs_per_sec() < 40.0,
+        "JobQ rate {:.1}/s at 1000 workstations",
+        r.jobq_msgs_per_sec()
+    );
+    assert!(r.peak_participants.iter().any(|p| *p > 100));
+}
+
+#[test]
+fn sharing_strategies_rank_as_the_paper_argues() {
+    let jobs = paper_scenario();
+    let gang = gang_timeshare(&jobs, 32, phish::sim::sharing::GANG_QUANTUM, phish::sim::sharing::GANG_SWITCH_COST);
+    let stat = space_share(&jobs, 32, false);
+    let adap = space_share(&jobs, 32, true);
+    // Space beats gang on throughput; adaptive beats static on mean
+    // completion.
+    assert!(adap.utilization >= stat.utilization);
+    assert!(adap.mean_completion <= stat.mean_completion);
+    assert!(adap.mean_completion < gang.mean_completion);
+    assert!(gang.context_switches > 0);
+    assert_eq!(adap.context_switches, 0);
+}
