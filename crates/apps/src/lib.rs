@@ -29,8 +29,8 @@ pub mod ray;
 pub use fib::{fib_serial, fib_task, FibSpec};
 pub use nqueens::{nqueens_serial, nqueens_task, NQueensSpec};
 pub use pfold::{
-    count_walks, merge_histograms, parse_hp, pfold_hp_serial, pfold_serial, pfold_task,
-    Histogram, Monomer, PfoldHpSpec, PfoldSpec, Walk,
+    count_walks, merge_histograms, parse_hp, pfold_hp_serial, pfold_serial, pfold_task, Histogram,
+    Monomer, PfoldHpSpec, PfoldSpec, Walk,
 };
 pub use pfold3d::{pfold3d_serial, pfold3d_task, Pfold3dSpec, Walk3};
 pub use ray::{benchmark_scene, render_serial, render_task, RaySpec};

@@ -276,9 +276,9 @@ mod tests {
     fn board_free_mask_excludes_attacks() {
         let b = Board::fresh(4);
         assert_eq!(b.free(), 0b1111);
-        let b = b.place(0b0010); // queen at column 1, row 0
-        // Row 1: column 1 blocked (file), columns 0 and 2 blocked
-        // (diagonals); only column 3 free.
+        // Queen at column 1, row 0. Row 1: column 1 blocked (file),
+        // columns 0 and 2 blocked (diagonals); only column 3 free.
+        let b = b.place(0b0010);
         assert_eq!(b.free(), 0b1000);
     }
 }

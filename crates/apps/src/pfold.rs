@@ -220,7 +220,10 @@ fn hp_fold_recurse(walk: &Walk, seq: &[Monomer], hist: &mut Histogram) {
 /// Serial HP-model folding: histogram of H–H contact counts over all
 /// self-avoiding conformations of `seq`.
 pub fn pfold_hp_serial(seq: &[Monomer]) -> Histogram {
-    assert!((1..=MAX_CHAIN).contains(&seq.len()), "sequence length out of range");
+    assert!(
+        (1..=MAX_CHAIN).contains(&seq.len()),
+        "sequence length out of range"
+    );
     let mut hist = vec![0u64; 1];
     hp_fold_recurse(&Walk::origin(), seq, &mut hist);
     hist
@@ -313,9 +316,7 @@ fn walk_task(walk: Walk, n: usize, spawn_depth: usize, out: Cont) -> TaskFn<Hist
             return;
         }
         let cell = w.join(children.len(), move |vals, w| {
-            let merged = vals
-                .into_iter()
-                .fold(vec![0u64; 1], merge_histograms);
+            let merged = vals.into_iter().fold(vec![0u64; 1], merge_histograms);
             w.post(out, merged);
         });
         for (i, child) in children.into_iter().enumerate() {
@@ -495,10 +496,8 @@ mod tests {
     fn spawn_depth_does_not_change_the_answer() {
         let expect = pfold_serial(9);
         for depth in [1, 3, 5, 9, 20] {
-            let (hist, _) = Engine::run(
-                SchedulerConfig::paper(2),
-                pfold_task(9, depth, Cont::ROOT),
-            );
+            let (hist, _) =
+                Engine::run(SchedulerConfig::paper(2), pfold_task(9, depth, Cont::ROOT));
             assert_eq!(hist, expect, "spawn_depth = {depth}");
         }
     }

@@ -337,9 +337,6 @@ mod tests {
         use phish_core::count_tasks;
         let t2 = count_tasks(crate::pfold::PfoldSpec::new(8, 8));
         let t3 = count_tasks(Pfold3dSpec::new(8, 8));
-        assert!(
-            t3 > 10 * t2,
-            "3D branching must dwarf 2D: {t3} vs {t2}"
-        );
+        assert!(t3 > 10 * t2, "3D branching must dwarf 2D: {t3} vs {t2}");
     }
 }

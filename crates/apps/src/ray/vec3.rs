@@ -167,10 +167,7 @@ mod tests {
 
     #[test]
     fn clamp01_saturates() {
-        assert!(close(
-            v3(-0.5, 0.5, 1.5).clamp01(),
-            v3(0.0, 0.5, 1.0)
-        ));
+        assert!(close(v3(-0.5, 0.5, 1.5).clamp01(), v3(0.0, 0.5, 1.0)));
     }
 
     #[test]

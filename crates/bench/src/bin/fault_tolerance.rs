@@ -30,7 +30,7 @@ fn main() {
     // Baseline for the redo-overhead column.
     let (h0, clean) = RecoveringEngine::run(&cfg, PfoldSpec::new(chain, depth), &CrashPlan::none());
     assert_eq!(h0, expect);
-    let base_tasks = clean.total_tasks;
+    let base_tasks = clean.stats.tasks_executed;
 
     let plans: Vec<(&str, CrashPlan)> = vec![
         ("no crashes", CrashPlan::none()),
@@ -71,15 +71,18 @@ fn main() {
             label.to_string(),
             if exact { "yes".into() } else { "NO".into() },
             format!("{}", r.crashes),
-            format!("{}", r.total_tasks),
+            format!("{}", r.stats.tasks_executed),
             format!(
                 "{:.1}",
-                (r.total_tasks as f64 / base_tasks as f64 - 1.0) * 100.0
+                (r.stats.tasks_executed as f64 / base_tasks as f64 - 1.0) * 100.0
             ),
             format!("{}", r.respawned_subtrees),
-            format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", r.elapsed().as_secs_f64() * 1e3),
         ]);
-        assert!(exact, "fault tolerance violated: wrong result under {label}");
+        assert!(
+            exact,
+            "fault tolerance violated: wrong result under {label}"
+        );
     }
     t.sep();
     println!(

@@ -53,7 +53,7 @@ fn main() {
     }
     println!(
         "total foldings {} across {} tasks\n",
-        foldings, rows[0].1.tasks_executed
+        foldings, rows[0].1.stats.tasks_executed
     );
     let t = Table::new(&[6, 14, 14, 12, 12]);
     t.row(&[
@@ -69,8 +69,8 @@ fn main() {
         t.row(&[
             format!("{p}"),
             fmt_virtual_secs(r.completion_ns),
-            format!("{}", r.tasks_executed),
-            format!("{}", r.steals),
+            format!("{}", r.stats.tasks_executed),
+            format!("{}", r.stats.tasks_stolen),
             format!("{:.3}", r.efficiency()),
         ]);
     }
@@ -81,8 +81,8 @@ fn main() {
             csv.push_str(&format!(
                 "{p},{:.6},{},{},{:.4}\n",
                 r.completion_ns as f64 / 1e9,
-                r.tasks_executed,
-                r.steals,
+                r.stats.tasks_executed,
+                r.stats.tasks_stolen,
                 r.efficiency()
             ));
         }

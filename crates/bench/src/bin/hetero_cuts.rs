@@ -61,7 +61,7 @@ fn main() {
         t.row(&[
             label.clone(),
             fmt_virtual_secs(r.completion_ns),
-            format!("{}", r.steals),
+            format!("{}", r.stats.tasks_stolen),
             format!("{}", r.inter_cluster_steals),
             format!("{}", r.inter_cluster_bytes),
         ]);

@@ -56,7 +56,10 @@ fn main() {
     let policies = [
         ("round-robin (paper)", AssignPolicy::RoundRobin),
         ("least-loaded", AssignPolicy::LeastLoaded),
-        ("first-come-first-served", AssignPolicy::FirstComeFirstServed),
+        (
+            "first-come-first-served",
+            AssignPolicy::FirstComeFirstServed,
+        ),
         ("most-demand", AssignPolicy::MostDemand),
     ];
     let t = Table::new(&[26, 10, 10, 10, 12, 10]);

@@ -70,16 +70,16 @@ fn main() {
         t.row(&[
             name.into(),
             fmt_virtual_secs(rp.completion_ns),
-            format!("{}", rp.steals),
+            format!("{}", rp.stats.tasks_stolen),
             fmt_virtual_secs(rf.completion_ns),
-            format!("{}", rf.steals),
+            format!("{}", rf.stats.tasks_stolen),
         ]);
         pfold_times.push(rp.completion_ns);
         fib_times.push(rf.completion_ns);
     }
     t.sep();
-    let pfold_spread = *pfold_times.iter().max().unwrap() as f64
-        / *pfold_times.iter().min().unwrap() as f64;
+    let pfold_spread =
+        *pfold_times.iter().max().unwrap() as f64 / *pfold_times.iter().min().unwrap() as f64;
     let fib_spread =
         *fib_times.iter().max().unwrap() as f64 / *fib_times.iter().min().unwrap() as f64;
     println!(

@@ -41,8 +41,8 @@ fn main() {
             jobs,
             shrink_detect_delay: 2 * SECOND,
             max_time: 24 * 3600 * SECOND,
-        assign_policy: phish_macro::AssignPolicy::RoundRobin,
-        idleness: phish_sim::IdlenessChoice::NobodyLoggedIn,
+            assign_policy: phish_macro::AssignPolicy::RoundRobin,
+            idleness: phish_sim::IdlenessChoice::NobodyLoggedIn,
         };
         let r = run_fleet(&cfg);
         let done = r.completions.iter().filter(|c| c.is_some()).count();

@@ -62,9 +62,7 @@ fn main() {
     // fib
     let (fv, fs) = median_time(reps, || fib_serial(fib_n));
     let (sv, ss) = median_time(reps, || SpecEngine::run(cfg, FibSpec { n: fib_n }).0);
-    let (pv, ps) = median_time(reps, || {
-        Engine::run(cfg, fib_task(fib_n, Cont::ROOT)).0
-    });
+    let (pv, ps) = median_time(reps, || Engine::run(cfg, fib_task(fib_n, Cont::ROOT)).0);
     assert_eq!(fv, sv);
     assert_eq!(fv, pv);
     t.row(&[

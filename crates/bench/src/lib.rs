@@ -122,7 +122,10 @@ mod tests {
             i += 1;
             std::thread::sleep(Duration::from_millis(if i == 3 { 30 } else { 2 }));
         });
-        assert!(d < Duration::from_millis(25), "median must ignore the spike");
+        assert!(
+            d < Duration::from_millis(25),
+            "median must ignore the spike"
+        );
     }
 
     #[test]

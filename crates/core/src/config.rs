@@ -199,7 +199,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SchedulerConfig::paper(2).with_seed(9).with_send_overhead(100);
+        let c = SchedulerConfig::paper(2)
+            .with_seed(9)
+            .with_send_overhead(100);
         assert_eq!(c.seed, 9);
         assert_eq!(c.send_overhead, 100);
     }

@@ -287,10 +287,7 @@ mod tests {
             1
         );
         // Steal count in trace equals the counter.
-        assert_eq!(
-            trace.steal_edges().len() as u64,
-            stats.tasks_stolen
-        );
+        assert_eq!(trace.steal_edges().len() as u64, stats.tasks_stolen);
     }
 
     #[test]
@@ -324,10 +321,8 @@ mod tests {
 
     #[test]
     fn tracing_disabled_yields_empty_trace() {
-        let (_, _, trace) = Engine::run_traced(
-            SchedulerConfig::paper(2),
-            sum_task(1, 1000, Cont::ROOT),
-        );
+        let (_, _, trace) =
+            Engine::run_traced(SchedulerConfig::paper(2), sum_task(1, 1000, Cont::ROOT));
         assert!(trace.events.is_empty());
         assert_eq!(trace.dropped, 0);
     }

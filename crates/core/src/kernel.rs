@@ -1,0 +1,574 @@
+//! The work-stealing kernel: the paper's micro-level discipline, once.
+//!
+//! Every engine in this repository schedules the same way — execute local
+//! ready tasks in LIFO order, and when the local list runs dry, steal the
+//! oldest task (FIFO) from a victim chosen uniformly at random. Before this
+//! module existed that loop was written four times (threaded CPS engine,
+//! spec-tree engine, crash-recovering engine, virtual-time microsim), each
+//! with its own drifting statistics counters. The kernel splits the loop
+//! into the parts that never change and the parts that do:
+//!
+//! * [`SchedulerCore`] — the scheduling loop itself ([`SchedulerCore::run`])
+//!   plus its two step functions ([`SchedulerCore::next_work`],
+//!   [`SchedulerCore::steal_once`]) for event-driven callers that cannot
+//!   block in a loop (the microsim drives them from a virtual-clock event
+//!   queue).
+//! * [`Substrate`] — what the engines actually differ in: where local work
+//!   is popped from, how a steal travels (direct shared-memory access, a
+//!   split-phase message exchange, a simulated round trip), which workers
+//!   are eligible victims, what "idle" means (spin, block on a channel,
+//!   schedule an event), and the crash/retirement hooks.
+//! * [`Workload`] — what the unit of work *is* and what executing one unit
+//!   means: calling a boxed CPS closure against its [`Worker`], or stepping
+//!   a self-describing [`SpecTask`] and routing its monoid results through a
+//!   [`SpecSink`].
+//! * [`KernelCtl`] — the per-worker control block every substrate embeds:
+//!   the victim-selection RNG stream (seeded by [`worker_seed`], identical
+//!   across engines), the round-robin cursor, the retirement counter, the
+//!   unified [`WorkerStats`], and the optional [`TraceBuffer`]. All Table 2
+//!   counters and all trace events are recorded through its `note_*`
+//!   methods, so every engine counts with identical code.
+//!
+//! The steal-latency analyses this reproduction leans on (Gast–Khatiri–
+//! Trystram; Van Houdt's stealing-vs-sharing comparison) vary exactly the
+//! substrate parameters while holding the discipline fixed; keeping the
+//! discipline in one module is what makes those variations trustworthy.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{RetirePolicy, SchedulerConfig, VictimPolicy};
+use crate::spec::{SpecStep, SpecTask};
+use crate::stats::WorkerStats;
+use crate::task::{Task, WorkerId};
+use crate::trace::{TraceBuffer, TraceEventKind};
+use crate::worker::Worker;
+
+/// The per-worker RNG seed used by every engine: decorrelates the workers'
+/// victim streams while keeping each run reproducible from the job seed.
+#[inline]
+pub fn worker_seed(job_seed: u64, id: WorkerId) -> u64 {
+    job_seed ^ ((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Per-worker control block: victim selection, retirement accounting,
+/// statistics, and tracing — the instrumented state every substrate embeds.
+#[derive(Debug)]
+pub struct KernelCtl {
+    /// This worker's id within the job.
+    pub id: WorkerId,
+    /// Number of workers configured for the job.
+    pub workers: usize,
+    /// How [`KernelCtl::choose_victim`] picks from the candidate set.
+    pub victim_policy: VictimPolicy,
+    /// When repeated steal failures should retire this worker.
+    pub retire: RetirePolicy,
+    /// The unified Table 2 counters.
+    pub stats: WorkerStats,
+    /// Scheduling-event recorder, when enabled.
+    pub trace: Option<TraceBuffer>,
+    rng: SmallRng,
+    rr_cursor: usize,
+    consecutive_failed: u64,
+}
+
+impl KernelCtl {
+    /// A control block with the given victim policy and no retirement,
+    /// seeded from the job seed by [`worker_seed`].
+    pub fn new(id: WorkerId, workers: usize, victim_policy: VictimPolicy, job_seed: u64) -> Self {
+        Self {
+            id,
+            workers,
+            victim_policy,
+            retire: RetirePolicy::Never,
+            stats: WorkerStats::default(),
+            trace: None,
+            rng: SmallRng::seed_from_u64(worker_seed(job_seed, id)),
+            rr_cursor: id,
+            consecutive_failed: 0,
+        }
+    }
+
+    /// A control block taking victim policy, retirement, seed, and trace
+    /// capacity from a [`SchedulerConfig`].
+    pub fn from_config(id: WorkerId, cfg: &SchedulerConfig) -> Self {
+        let mut ctl = Self::new(id, cfg.workers, cfg.victim_policy, cfg.seed);
+        ctl.retire = cfg.retire;
+        if cfg.trace_capacity > 0 {
+            ctl.trace = Some(TraceBuffer::new(id, cfg.trace_capacity));
+        }
+        ctl
+    }
+
+    /// Records a trace event (no-op when tracing is disabled).
+    #[inline]
+    pub fn record(&mut self, kind: TraceEventKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(kind);
+        }
+    }
+
+    /// Picks a victim from `candidates` under this worker's policy:
+    /// uniformly at random (the paper's choice) or round-robin (ablation).
+    /// Returns `None` when there is nobody to steal from.
+    ///
+    /// The candidate set is the substrate's business — active participants,
+    /// live peers, or a cluster-biased subset — which is how §6's cut-aware
+    /// policies compose with the kernel's uniform draw.
+    pub fn choose_victim(&mut self, candidates: &[WorkerId]) -> Option<WorkerId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.victim_policy {
+            VictimPolicy::UniformRandom => {
+                Some(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+            VictimPolicy::RoundRobin => {
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(candidates[self.rr_cursor % candidates.len()])
+            }
+        }
+    }
+
+    /// Accounts one executed task.
+    #[inline]
+    pub fn note_exec(&mut self) {
+        self.stats.tasks_executed += 1;
+        self.record(TraceEventKind::Exec);
+    }
+
+    /// Accounts `n` spawned tasks.
+    #[inline]
+    pub fn note_spawn(&mut self, n: u64) {
+        self.stats.tasks_spawned += n;
+        if self.trace.is_some() {
+            for _ in 0..n {
+                self.record(TraceEventKind::Spawn);
+            }
+        }
+    }
+
+    /// Accounts one successful steal from `victim`. Used both by the
+    /// kernel's own [`SchedulerCore::steal_once`] and by substrates whose
+    /// steals resolve asynchronously (message replies, simulated round
+    /// trips), so success is counted by identical code everywhere.
+    #[inline]
+    pub fn note_steal_success(&mut self, victim: WorkerId) {
+        self.stats.tasks_stolen += 1;
+        self.consecutive_failed = 0;
+        self.record(TraceEventKind::StealSuccess { victim });
+    }
+
+    /// Accounts one empty-handed steal attempt against `victim`.
+    #[inline]
+    pub fn note_steal_fail(&mut self, victim: WorkerId) {
+        self.stats.failed_steal_attempts += 1;
+        self.record(TraceEventKind::StealFail { victim });
+    }
+
+    /// Resets the retirement counter (local work was found).
+    #[inline]
+    fn note_progress(&mut self) {
+        self.consecutive_failed = 0;
+    }
+
+    /// Counts one fruitless scheduling round and reports whether the
+    /// retirement policy now says to leave: "if no task can be found even
+    /// after many attempted steals, the amount of parallelism in the job
+    /// must have decreased" (§2). A round is one attempt per other
+    /// participant.
+    fn note_fruitless_round(&mut self) -> bool {
+        self.consecutive_failed += 1;
+        match self.retire {
+            RetirePolicy::Never => false,
+            RetirePolicy::AfterFailedRounds(rounds) => {
+                let attempts_per_round = self.workers.saturating_sub(1).max(1) as u64;
+                self.consecutive_failed >= u64::from(rounds) * attempts_per_round
+            }
+        }
+    }
+}
+
+/// What the unit of schedulable work is and what executing one unit means.
+///
+/// Two workloads cover every engine: [`CpsWorkload`] (boxed
+/// continuation-passing closures synchronizing through join cells) and
+/// [`SpecWorkload`] (self-describing monoid trees). The substrate supplies
+/// the execution context `Cx`; the workload defines the execution itself.
+pub trait Workload {
+    /// The schedulable unit.
+    type Work;
+    /// The engine-side context one unit executes against.
+    type Cx<'a>: ?Sized;
+    /// Executes one unit.
+    fn execute(work: Self::Work, cx: &mut Self::Cx<'_>);
+}
+
+/// Boxed CPS closures executing against their [`Worker`] (join cells,
+/// mailboxes, spawn/post API).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CpsWorkload<T>(std::marker::PhantomData<T>);
+
+impl<T: Send + 'static> Workload for CpsWorkload<T> {
+    type Work = Task<T>;
+    type Cx<'a> = Worker<T>;
+
+    fn execute(work: Task<T>, cx: &mut Worker<T>) {
+        (work.run)(cx);
+    }
+}
+
+/// Where a stepped spec's effects land. Each spec engine differs only in
+/// this sink: the crash-free engine merges into a thread-local accumulator
+/// and decrements a global outstanding counter; the recovering engine
+/// merges into the current assignment's ledger-guarded accumulator; the
+/// microsim merges into the job accumulator and schedules child events.
+pub trait SpecSink<S: SpecTask> {
+    /// Folds a completed result (leaf output or expansion partial) in.
+    fn merge(&mut self, out: S::Output);
+    /// Makes freshly expanded children ready. Called before
+    /// [`SpecSink::finished`], so outstanding-work accounting never dips to
+    /// zero while children exist.
+    fn spawn(&mut self, children: Vec<S>);
+    /// The stepped spec itself is finished (its children, if any, were
+    /// already handed to [`SpecSink::spawn`]).
+    fn finished(&mut self);
+}
+
+/// Self-describing [`SpecTask`] trees executing against a [`SpecSink`].
+///
+/// This is the single definition of how a spec node is stepped — the
+/// leaf/expand routing and its ordering invariant live here, not in each
+/// engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpecWorkload<S>(std::marker::PhantomData<S>);
+
+impl<S: SpecTask> Workload for SpecWorkload<S> {
+    type Work = S;
+    type Cx<'a> = dyn SpecSink<S> + 'a;
+
+    fn execute(work: S, cx: &mut (dyn SpecSink<S> + '_)) {
+        match work.step() {
+            SpecStep::Leaf(out) => {
+                cx.merge(out);
+                cx.finished();
+            }
+            SpecStep::Expand { children, partial } => {
+                cx.merge(partial);
+                cx.spawn(children);
+                cx.finished();
+            }
+        }
+    }
+}
+
+/// The work obtained by one steal attempt.
+#[derive(Debug)]
+pub enum StealAttempt<W> {
+    /// The victim gave up a task.
+    Got(W),
+    /// The victim's ready list was empty.
+    Empty,
+    /// The attempt is in flight and resolves later (split-phase message
+    /// protocols, simulated round trips). The substrate accounts the
+    /// resolution itself via [`KernelCtl::note_steal_success`] /
+    /// [`KernelCtl::note_steal_fail`].
+    Pending,
+}
+
+/// Outcome of one [`SchedulerCore::steal_once`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealOutcome {
+    /// A task was stolen and admitted to the local ready list.
+    Got,
+    /// The chosen victim had nothing.
+    Failed,
+    /// The attempt resolves asynchronously.
+    Pending,
+    /// No eligible victim existed.
+    NoVictim,
+}
+
+/// What one engine plugs into the kernel: local-work access, steal
+/// transport, victim eligibility, idleness, and lifecycle hooks.
+///
+/// Implementations embed a [`KernelCtl`] and hand it out via
+/// [`Substrate::ctl`]; the kernel routes all accounting through it.
+/// [`Substrate::execute`] must call [`KernelCtl::note_exec`] exactly once
+/// per executed unit (substrates that execute work outside the kernel loop
+/// — e.g. while waiting out a split-phase steal — account those the same
+/// way, which is why the kernel does not count executions itself).
+pub trait Substrate {
+    /// The workload this substrate schedules.
+    type Load: Workload;
+
+    /// The embedded control block.
+    fn ctl(&mut self) -> &mut KernelCtl;
+
+    /// True when the job has completed (or this worker must stop).
+    fn done(&self) -> bool;
+
+    /// Housekeeping at the top of every scheduling round: drain mailboxes,
+    /// heartbeat the clearinghouse, apply recovery. `Break` stops the
+    /// worker. The default does nothing.
+    fn drain(&mut self) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+
+    /// Takes the next unit of local ready work, in the configured
+    /// execution order (LIFO for the paper).
+    fn pop_local(&mut self) -> Option<Work<Self>>;
+
+    /// Writes the eligible victims into `buf` (cleared by the caller). The
+    /// default offers every other worker; substrates narrow this to active
+    /// participants, live peers, or a cluster-biased subset.
+    fn victim_candidates(&mut self, buf: &mut Vec<WorkerId>) {
+        let (id, n) = {
+            let ctl = self.ctl();
+            (ctl.id, ctl.workers)
+        };
+        buf.extend((0..n).filter(|w| *w != id));
+    }
+
+    /// One steal attempt against `victim` over this substrate's transport.
+    fn try_steal(&mut self, victim: WorkerId) -> StealAttempt<Work<Self>>;
+
+    /// Admits stolen work to the local ready list.
+    fn admit(&mut self, loot: Work<Self>);
+
+    /// Executes one unit (via the workload), returning `Break` to stop the
+    /// worker (crash injection, fatal conditions).
+    fn execute(&mut self, work: Work<Self>) -> ControlFlow<()>;
+
+    /// Called when a scheduling round found neither local nor stolen work.
+    /// The default spins briefly and yields; blocking substrates wait on
+    /// their channel instead.
+    fn idle(&mut self) {
+        std::hint::spin_loop();
+        std::thread::yield_now();
+    }
+
+    /// Attempts to leave the computation after the retirement policy
+    /// triggered, migrating hosted state. Returns `true` when the worker
+    /// actually left. The default never retires.
+    fn try_retire(&mut self) -> bool {
+        false
+    }
+}
+
+/// The unit of work scheduled by substrate `S`.
+pub type Work<S> = <<S as Substrate>::Load as Workload>::Work;
+
+/// The scheduling loop — the only implementation of the paper's
+/// LIFO-exec / random-victim / FIFO-steal discipline.
+///
+/// Threaded engines call [`SchedulerCore::run`]; the event-driven microsim
+/// calls the step functions from its event handlers instead.
+#[derive(Debug, Default)]
+pub struct SchedulerCore {
+    victims: Vec<WorkerId>,
+}
+
+impl SchedulerCore {
+    /// A core with an empty (reusable) victim buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the next local unit, resetting the retirement counter.
+    pub fn next_work<S: Substrate>(&mut self, sub: &mut S) -> Option<Work<S>> {
+        let work = sub.pop_local()?;
+        sub.ctl().note_progress();
+        Some(work)
+    }
+
+    /// One steal attempt: pick a victim from the substrate's candidates
+    /// under the control block's policy, try the substrate's transport,
+    /// and account the outcome.
+    pub fn steal_once<S: Substrate>(&mut self, sub: &mut S) -> StealOutcome {
+        self.victims.clear();
+        let buf = &mut self.victims;
+        sub.victim_candidates(buf);
+        let Some(victim) = sub.ctl().choose_victim(buf) else {
+            return StealOutcome::NoVictim;
+        };
+        match sub.try_steal(victim) {
+            StealAttempt::Got(loot) => {
+                sub.ctl().note_steal_success(victim);
+                sub.admit(loot);
+                StealOutcome::Got
+            }
+            StealAttempt::Empty => {
+                sub.ctl().note_steal_fail(victim);
+                StealOutcome::Failed
+            }
+            StealAttempt::Pending => StealOutcome::Pending,
+        }
+    }
+
+    /// Runs the worker to completion: drain, execute local work LIFO,
+    /// steal when empty, idle when the steal fails, retire when the
+    /// policy says so. Sets the worker's `participation_ns` on exit.
+    pub fn run<S: Substrate>(&mut self, sub: &mut S) {
+        let start = Instant::now();
+        loop {
+            if sub.drain().is_break() {
+                break;
+            }
+            if sub.done() {
+                break;
+            }
+            if let Some(work) = self.next_work(sub) {
+                if sub.execute(work).is_break() {
+                    break;
+                }
+                continue;
+            }
+            match self.steal_once(sub) {
+                StealOutcome::Got => continue,
+                StealOutcome::Failed | StealOutcome::NoVictim => {
+                    if sub.ctl().note_fruitless_round() && sub.try_retire() {
+                        break;
+                    }
+                }
+                StealOutcome::Pending => {}
+            }
+            sub.idle();
+        }
+        sub.ctl().stats.participation_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn worker_seed_decorrelates_and_reproduces() {
+        assert_eq!(worker_seed(7, 3), worker_seed(7, 3));
+        assert_ne!(worker_seed(7, 3), worker_seed(7, 4));
+        assert_ne!(worker_seed(7, 3), worker_seed(8, 3));
+    }
+
+    #[test]
+    fn uniform_choice_stays_in_candidates() {
+        let mut ctl = KernelCtl::new(0, 8, VictimPolicy::UniformRandom, 42);
+        let candidates = [2, 5, 7];
+        for _ in 0..100 {
+            let v = ctl.choose_victim(&candidates).unwrap();
+            assert!(candidates.contains(&v));
+        }
+        assert_eq!(ctl.choose_victim(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut ctl = KernelCtl::new(0, 4, VictimPolicy::RoundRobin, 0);
+        let candidates = [1, 2, 3];
+        let picks: Vec<_> = (0..6)
+            .map(|_| ctl.choose_victim(&candidates).unwrap())
+            .collect();
+        assert_eq!(picks[0..3], picks[3..6], "period equals candidate count");
+        let mut seen = picks[0..3].to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, candidates, "every candidate is visited");
+    }
+
+    #[test]
+    fn retirement_counter_counts_rounds() {
+        let mut ctl = KernelCtl::new(0, 4, VictimPolicy::UniformRandom, 0);
+        ctl.retire = RetirePolicy::AfterFailedRounds(2);
+        // 2 rounds × 3 other participants = 6 fruitless attempts.
+        for _ in 0..5 {
+            assert!(!ctl.note_fruitless_round());
+        }
+        assert!(ctl.note_fruitless_round());
+        ctl.note_steal_success(1);
+        assert!(!ctl.note_fruitless_round(), "success resets the counter");
+    }
+
+    #[test]
+    fn note_methods_update_the_unified_counters() {
+        let mut ctl = KernelCtl::new(1, 4, VictimPolicy::UniformRandom, 0);
+        ctl.trace = Some(TraceBuffer::new(1, 100));
+        ctl.note_exec();
+        ctl.note_spawn(2);
+        ctl.note_steal_success(0);
+        ctl.note_steal_fail(2);
+        assert_eq!(ctl.stats.tasks_executed, 1);
+        assert_eq!(ctl.stats.tasks_spawned, 2);
+        assert_eq!(ctl.stats.tasks_stolen, 1);
+        assert_eq!(ctl.stats.failed_steal_attempts, 1);
+        let t = ctl.trace.take().unwrap();
+        assert_eq!(t.len(), 5, "exec + 2 spawns + steal success + fail");
+    }
+
+    /// A toy spec for exercising the workload routing.
+    #[derive(Debug, Clone)]
+    struct Split(u64);
+
+    impl SpecTask for Split {
+        type Output = u64;
+        fn step(self) -> SpecStep<Self> {
+            if self.0 <= 1 {
+                SpecStep::Leaf(self.0)
+            } else {
+                let half = self.0 / 2;
+                SpecStep::Expand {
+                    children: vec![Split(half), Split(self.0 - half)],
+                    partial: 0,
+                }
+            }
+        }
+        fn identity() -> u64 {
+            0
+        }
+        fn merge(a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    #[derive(Default)]
+    struct CollectSink {
+        acc: u64,
+        ready: VecDeque<Split>,
+        outstanding: i64,
+        order_ok: bool,
+    }
+
+    impl SpecSink<Split> for CollectSink {
+        fn merge(&mut self, out: u64) {
+            self.acc += out;
+        }
+        fn spawn(&mut self, children: Vec<Split>) {
+            self.outstanding += children.len() as i64;
+            self.ready.extend(children);
+        }
+        fn finished(&mut self) {
+            self.outstanding -= 1;
+            // spawn-before-finished keeps this from dipping below zero
+            // while children exist.
+            self.order_ok &= self.outstanding >= 0 || self.ready.is_empty();
+        }
+    }
+
+    #[test]
+    fn spec_workload_routes_through_the_sink_in_order() {
+        let mut sink = CollectSink {
+            outstanding: 1,
+            order_ok: true,
+            ..Default::default()
+        };
+        sink.ready.push_back(Split(10));
+        while let Some(s) = sink.ready.pop_front() {
+            SpecWorkload::execute(s, &mut sink);
+        }
+        assert_eq!(sink.acc, 10);
+        assert_eq!(sink.outstanding, 0);
+        assert!(sink.order_ok);
+    }
+}

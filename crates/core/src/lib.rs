@@ -54,6 +54,7 @@ pub mod codec;
 pub mod config;
 pub mod deque;
 pub mod engine;
+pub mod kernel;
 pub mod mapreduce;
 pub mod slab;
 pub mod spec;
@@ -65,11 +66,13 @@ pub mod worker;
 
 pub use cell::Cell;
 pub use codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
-pub use config::{
-    ExecOrder, RetirePolicy, SchedulerConfig, StealEnd, StealProtocol, VictimPolicy,
-};
+pub use config::{ExecOrder, RetirePolicy, SchedulerConfig, StealEnd, StealProtocol, VictimPolicy};
 pub use deque::ReadyDeque;
 pub use engine::Engine;
+pub use kernel::{
+    worker_seed, CpsWorkload, KernelCtl, SchedulerCore, SpecSink, SpecWorkload, StealAttempt,
+    StealOutcome, Substrate, Workload,
+};
 pub use mapreduce::map_reduce;
 pub use slab::{Slab, SlabKey};
 pub use spec::{count_tasks, run_serial, SpecStep, SpecTask};

@@ -171,8 +171,9 @@ impl<T> Slab<T> {
         let mut slab = Self::new();
         let max_index = entries.iter().map(|(k, _)| k.index).max();
         if let Some(max) = max_index {
-            slab.slots
-                .resize_with((max + 1) as usize, || (u32::MAX, Slot::Vacant { next_free: NIL }));
+            slab.slots.resize_with((max + 1) as usize, || {
+                (u32::MAX, Slot::Vacant { next_free: NIL })
+            });
         }
         for (key, value) in entries {
             let (gen, slot) = &mut slab.slots[key.index as usize];

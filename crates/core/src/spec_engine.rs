@@ -1,8 +1,12 @@
 //! Threaded work-stealing execution of [`SpecTask`] trees.
 //!
-//! Same scheduling discipline as the closure engine — local LIFO execution,
-//! random-victim FIFO steals — but over self-describing tasks whose results
-//! merge through a monoid. Termination uses a global outstanding-task
+//! Same scheduling discipline as the closure engine — it runs the same
+//! [`kernel`](crate::kernel) loop — but over self-describing tasks whose
+//! results merge through a monoid. Each worker is a [`SpecWorker`]
+//! substrate: local work comes from its shared deque, steals are direct
+//! deque access, and stepping a spec routes through the worker's
+//! [`SpecSink`] (merge into the thread-local accumulator, push children,
+//! decrement the global outstanding counter). Termination uses that
 //! counter instead of a root continuation: when the last spec finishes and
 //! no children were added, the job is done and every worker's local
 //! accumulator is merged.
@@ -11,17 +15,18 @@
 //! the same trait; this engine is the crash-free reference implementation
 //! the recovery results are checked against.
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::config::SchedulerConfig;
 use crate::deque::ReadyDeque;
-use crate::spec::{SpecStep, SpecTask};
-use crate::stats::{JobStats, WorkerStats};
+use crate::kernel::{
+    KernelCtl, SchedulerCore, SpecSink, SpecWorkload, StealAttempt, Substrate, Workload,
+};
+use crate::spec::SpecTask;
+use crate::stats::JobStats;
+use crate::task::WorkerId;
 
 struct SpecShared<S: SpecTask> {
     cfg: SchedulerConfig,
@@ -66,13 +71,17 @@ impl SpecEngine {
         for (i, spec) in frontier.into_iter().enumerate() {
             shared.deques[i % cfg.workers].push(spec);
         }
-        let start = Instant::now();
+        let start = std::time::Instant::now();
         let handles: Vec<_> = (0..cfg.workers)
             .map(|i| {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("phish-spec-{i}"))
-                    .spawn(move || spec_worker_loop(i, sh))
+                    .spawn(move || {
+                        let mut w = SpecWorker::new(i, sh);
+                        SchedulerCore::new().run(&mut w);
+                        (w.acc, w.ctl.stats)
+                    })
                     .expect("spawn spec worker")
             })
             .collect();
@@ -88,81 +97,86 @@ impl SpecEngine {
     }
 }
 
-fn spec_worker_loop<S: SpecTask>(id: usize, shared: Arc<SpecShared<S>>) -> (S::Output, WorkerStats) {
-    let cfg = shared.cfg;
-    let seed = cfg.seed ^ ((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut rr_cursor = id;
-    let mut stats = WorkerStats::default();
-    let mut acc = S::identity();
-    let start = Instant::now();
-
-    while !shared.done.load(Ordering::Acquire) {
-        // Local work, LIFO/FIFO per config.
-        if let Some((spec, len)) = shared.deques[id].pop(cfg.exec_order) {
-            stats.sample_in_use(len as u64 + 1);
-            stats.tasks_executed += 1;
-            match spec.step() {
-                SpecStep::Leaf(out) => {
-                    acc = S::merge(acc, out);
-                    finish_one(&shared);
-                }
-                SpecStep::Expand { children, partial } => {
-                    acc = S::merge(acc, partial);
-                    stats.tasks_spawned += children.len() as u64;
-                    shared
-                        .outstanding
-                        .fetch_add(children.len() as u64, Ordering::AcqRel);
-                    let mut len = 0;
-                    for child in children {
-                        len = shared.deques[id].push(child);
-                    }
-                    stats.sample_in_use(len as u64 + 1);
-                    finish_one(&shared);
-                }
-            }
-            continue;
-        }
-        // Steal.
-        let n = cfg.workers;
-        if n > 1 {
-            let victim = match cfg.victim_policy {
-                crate::config::VictimPolicy::UniformRandom => {
-                    let mut v = rng.gen_range(0..n - 1);
-                    if v >= id {
-                        v += 1;
-                    }
-                    v
-                }
-                crate::config::VictimPolicy::RoundRobin => {
-                    rr_cursor = rr_cursor.wrapping_add(1);
-                    let mut v = rr_cursor % (n - 1);
-                    if v >= id {
-                        v += 1;
-                    }
-                    v
-                }
-            };
-            match shared.deques[victim].steal(cfg.steal_end) {
-                Some(spec) => {
-                    stats.tasks_stolen += 1;
-                    shared.deques[id].push(spec);
-                    continue;
-                }
-                None => stats.failed_steal_attempts += 1,
-            }
-        }
-        std::hint::spin_loop();
-        std::thread::yield_now();
-    }
-    stats.participation_ns = start.elapsed().as_nanos() as u64;
-    (acc, stats)
+/// One spec-engine participant: the crash-free spec substrate.
+struct SpecWorker<S: SpecTask> {
+    id: WorkerId,
+    shared: Arc<SpecShared<S>>,
+    ctl: KernelCtl,
+    /// Thread-local partial result, merged by the engine after the join.
+    acc: S::Output,
 }
 
-#[inline]
-fn finish_one<S: SpecTask>(shared: &SpecShared<S>) {
-    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-        shared.done.store(true, Ordering::Release);
+impl<S: SpecTask> SpecWorker<S> {
+    fn new(id: WorkerId, shared: Arc<SpecShared<S>>) -> Self {
+        let ctl = KernelCtl::from_config(id, &shared.cfg);
+        Self {
+            id,
+            shared,
+            ctl,
+            acc: S::identity(),
+        }
+    }
+}
+
+impl<S: SpecTask> SpecSink<S> for SpecWorker<S> {
+    fn merge(&mut self, out: S::Output) {
+        let prev = std::mem::replace(&mut self.acc, S::identity());
+        self.acc = S::merge(prev, out);
+    }
+
+    fn spawn(&mut self, children: Vec<S>) {
+        self.ctl.note_spawn(children.len() as u64);
+        // Count the children as outstanding *before* they become stealable,
+        // so the counter can never dip to zero while work exists.
+        self.shared
+            .outstanding
+            .fetch_add(children.len() as u64, Ordering::AcqRel);
+        let mut len = 0;
+        for child in children {
+            len = self.shared.deques[self.id].push(child);
+        }
+        self.ctl.stats.sample_in_use(len as u64 + 1);
+    }
+
+    fn finished(&mut self) {
+        if self.shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.done.store(true, Ordering::Release);
+        }
+    }
+}
+
+impl<S: SpecTask> Substrate for SpecWorker<S> {
+    type Load = SpecWorkload<S>;
+
+    fn ctl(&mut self) -> &mut KernelCtl {
+        &mut self.ctl
+    }
+
+    fn done(&self) -> bool {
+        self.shared.done.load(Ordering::Acquire)
+    }
+
+    fn pop_local(&mut self) -> Option<S> {
+        let (spec, len) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order)?;
+        self.ctl.stats.sample_in_use(len as u64 + 1);
+        Some(spec)
+    }
+
+    fn try_steal(&mut self, victim: WorkerId) -> StealAttempt<S> {
+        match self.shared.deques[victim].steal(self.shared.cfg.steal_end) {
+            Some(spec) => StealAttempt::Got(spec),
+            None => StealAttempt::Empty,
+        }
+    }
+
+    fn admit(&mut self, loot: S) {
+        self.shared.deques[self.id].push(loot);
+    }
+
+    fn execute(&mut self, spec: S) -> ControlFlow<()> {
+        self.ctl.note_exec();
+        SpecWorkload::execute(spec, self);
+        ControlFlow::Continue(())
     }
 }
 
@@ -280,7 +294,10 @@ mod tests {
         let expect = run_serial(root);
         let (left, right) = (
             RangeSum { lo: 1, hi: 25_000 },
-            RangeSum { lo: 25_001, hi: 50_000 },
+            RangeSum {
+                lo: 25_001,
+                hi: 50_000,
+            },
         );
         let acc0 = run_serial(left);
         let (v, _) = SpecEngine::run_many(SchedulerConfig::paper(3), vec![right], acc0);
@@ -289,8 +306,7 @@ mod tests {
 
     #[test]
     fn run_many_empty_frontier_returns_acc() {
-        let (v, stats) =
-            SpecEngine::run_many::<RangeSum>(SchedulerConfig::paper(2), vec![], 77);
+        let (v, stats) = SpecEngine::run_many::<RangeSum>(SchedulerConfig::paper(2), vec![], 77);
         assert_eq!(v, 77);
         assert_eq!(stats.tasks_executed, 0);
     }

@@ -161,7 +161,11 @@ impl std::fmt::Display for JobStats {
         writeln!(f, "Max tasks in use  {:>14}", self.max_tasks_in_use)?;
         writeln!(f, "Tasks stolen      {:>14}", self.tasks_stolen)?;
         writeln!(f, "Synchronizations  {:>14}", self.synchronizations)?;
-        writeln!(f, "Non-local synchs  {:>14}", self.nonlocal_synchronizations)?;
+        writeln!(
+            f,
+            "Non-local synchs  {:>14}",
+            self.nonlocal_synchronizations
+        )?;
         writeln!(f, "Messages sent     {:>14}", self.messages_sent)?;
         write!(
             f,

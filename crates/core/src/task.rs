@@ -144,14 +144,19 @@ impl<T> std::fmt::Debug for Msg<T> {
                 .field("cell", cell)
                 .field("slot", slot)
                 .finish(),
-            Msg::StealRequest { thief } => {
-                f.debug_struct("StealRequest").field("thief", thief).finish()
-            }
+            Msg::StealRequest { thief } => f
+                .debug_struct("StealRequest")
+                .field("thief", thief)
+                .finish(),
             Msg::StealReply { task } => f
                 .debug_struct("StealReply")
                 .field("some", &task.is_some())
                 .finish(),
-            Msg::AdoptShard { origin, cells, tasks } => f
+            Msg::AdoptShard {
+                origin,
+                cells,
+                tasks,
+            } => f
                 .debug_struct("AdoptShard")
                 .field("origin", origin)
                 .field("cells", &cells.len())

@@ -164,11 +164,7 @@ impl JobTrace {
 impl std::fmt::Display for JobTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for e in &self.events {
-            writeln!(
-                f,
-                "{:>12} ns  w{:<3} {:?}",
-                e.t_ns, e.worker, e.kind
-            )?;
+            writeln!(f, "{:>12} ns  w{:<3} {:?}", e.t_ns, e.worker, e.kind)?;
         }
         if self.dropped > 0 {
             writeln!(f, "... {} events dropped (buffers full)", self.dropped)?;
@@ -230,10 +226,7 @@ mod tests {
         b.record(TraceEventKind::Spawn);
         b.record(TraceEventKind::Exec);
         let t = JobTrace::merge(vec![b]);
-        assert_eq!(
-            t.count_matching(|k| matches!(k, TraceEventKind::Spawn)),
-            2
-        );
+        assert_eq!(t.count_matching(|k| matches!(k, TraceEventKind::Spawn)), 2);
     }
 
     #[test]

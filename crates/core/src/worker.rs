@@ -14,25 +14,30 @@
 //!    migrating its data to another participant, and its workstation goes
 //!    back to the macro-level scheduler.
 //!
-//! All per-worker state (join-cell shards, statistics, RNG) is thread-local
-//! to the worker; cross-worker effects travel through the shared ready
-//! deques and the per-worker mailboxes.
+//! The scheduling loop itself lives in the [`kernel`](crate::kernel);
+//! `Worker` is the threaded-CPS [`Substrate`]: it supplies the shared ready
+//! deques as local work, the configured steal transport (direct
+//! shared-memory deque access or a split-phase message exchange), the
+//! active-participant victim set, and retirement-by-migration. All
+//! per-worker state (join-cell shards, statistics, RNG) is thread-local to
+//! the worker; cross-worker effects travel through the shared ready deques
+//! and the per-worker mailboxes.
 
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use phish_net::SendCost;
 
 use crate::cell::{Cell, JoinFn};
-use crate::config::{RetirePolicy, SchedulerConfig, StealProtocol, VictimPolicy};
+use crate::config::{SchedulerConfig, StealProtocol};
 use crate::deque::ReadyDeque;
+use crate::kernel::{CpsWorkload, KernelCtl, SchedulerCore, StealAttempt, Substrate, Workload};
 use crate::slab::Slab;
 use crate::stats::WorkerStats;
 use crate::task::{CellRef, Cont, Msg, Task, WorkerId};
@@ -88,22 +93,19 @@ pub struct Worker<T> {
     shards: HashMap<WorkerId, Slab<Cell<T>>>,
     /// Mailboxes this worker polls (own id plus adopted origins).
     polled_mailboxes: Vec<WorkerId>,
-    stats: WorkerStats,
-    rng: SmallRng,
-    rr_cursor: usize,
+    /// Kernel control block: RNG stream, retirement counter, statistics,
+    /// trace.
+    ctl: KernelCtl,
     /// Reply slot for the message steal protocol.
     steal_reply: Option<Option<Task<T>>>,
     /// True while inside a task body (for working-set accounting).
     in_task: bool,
     retired: bool,
-    /// Scheduling-event recorder, when enabled by the configuration.
-    trace: Option<TraceBuffer>,
 }
 
 impl<T: Send + 'static> Worker<T> {
     pub(crate) fn new(id: WorkerId, shared: Arc<Shared<T>>) -> Self {
-        let seed = shared.cfg.seed ^ ((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let shared_trace_capacity = shared.cfg.trace_capacity;
+        let ctl = KernelCtl::from_config(id, &shared.cfg);
         let mut shards = HashMap::new();
         shards.insert(id, Slab::new());
         Self {
@@ -111,17 +113,10 @@ impl<T: Send + 'static> Worker<T> {
             shared,
             shards,
             polled_mailboxes: vec![id],
-            stats: WorkerStats::default(),
-            rng: SmallRng::seed_from_u64(seed),
-            rr_cursor: id,
+            ctl,
             steal_reply: None,
             in_task: false,
             retired: false,
-            trace: if shared_trace_capacity > 0 {
-                Some(TraceBuffer::new(id, shared_trace_capacity))
-            } else {
-                None
-            },
         }
     }
 
@@ -142,19 +137,12 @@ impl<T: Send + 'static> Worker<T> {
 
     /// This worker's statistics so far.
     pub fn stats(&self) -> &WorkerStats {
-        &self.stats
-    }
-
-    #[inline]
-    fn record(&mut self, kind: TraceEventKind) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(kind);
-        }
+        &self.ctl.stats
     }
 
     /// Takes the worker's trace buffer (engine side, after the run).
     pub(crate) fn take_trace(&mut self) -> Option<TraceBuffer> {
-        self.trace.take()
+        self.ctl.trace.take()
     }
 
     // ------------------------------------------------------------------
@@ -164,8 +152,7 @@ impl<T: Send + 'static> Worker<T> {
     /// Spawns a child task: it becomes ready immediately and goes to the
     /// head of this worker's ready list.
     pub fn spawn(&mut self, f: impl FnOnce(&mut Worker<T>) + Send + 'static) {
-        self.stats.tasks_spawned += 1;
-        self.record(TraceEventKind::Spawn);
+        self.ctl.note_spawn(1);
         self.push_local(Task::new(f));
     }
 
@@ -186,7 +173,7 @@ impl<T: Send + 'static> Worker<T> {
             .get_mut(&self.id)
             .expect("worker always hosts its own shard");
         let key = shard.insert(Cell::new(nslots, cont));
-        self.record(TraceEventKind::CellAlloc);
+        self.ctl.record(TraceEventKind::CellAlloc);
         self.sample_in_use();
         CellRef {
             owner: self.id,
@@ -215,10 +202,10 @@ impl<T: Send + 'static> Worker<T> {
     /// Posting to [`Cont::ROOT`] delivers the job's final result and
     /// terminates the job.
     pub fn post(&mut self, cont: Cont, value: T) {
-        self.stats.synchronizations += 1;
+        self.ctl.stats.synchronizations += 1;
         match cont.cell() {
             None => {
-                self.record(TraceEventKind::RootPost);
+                self.ctl.record(TraceEventKind::RootPost);
                 let mut slot = self.shared.result.lock();
                 assert!(
                     slot.is_none(),
@@ -231,11 +218,12 @@ impl<T: Send + 'static> Worker<T> {
             }
             Some(cell) => {
                 if self.shards.contains_key(&cell.owner) {
-                    self.record(TraceEventKind::PostLocal);
+                    self.ctl.record(TraceEventKind::PostLocal);
                     self.apply_post(cell, cont.slot_index(), value);
                 } else {
-                    self.stats.nonlocal_synchronizations += 1;
-                    self.record(TraceEventKind::PostRemote { to: cell.owner });
+                    self.ctl.stats.nonlocal_synchronizations += 1;
+                    self.ctl
+                        .record(TraceEventKind::PostRemote { to: cell.owner });
                     self.send_msg(
                         cell.owner,
                         Msg::Post {
@@ -274,12 +262,13 @@ impl<T: Send + 'static> Worker<T> {
     fn sample_in_use_with_deque(&mut self, deque_len: usize) {
         let live_cells: usize = self.shards.values().map(Slab::len).sum();
         let executing = usize::from(self.in_task);
-        self.stats
+        self.ctl
+            .stats
             .sample_in_use((live_cells + deque_len + executing) as u64);
     }
 
     fn send_msg(&mut self, origin_mailbox: WorkerId, msg: Msg<T>) {
-        self.stats.messages_sent += 1;
+        self.ctl.stats.messages_sent += 1;
         self.shared.send_cost.pay();
         self.shared.mailboxes[origin_mailbox].push(msg);
     }
@@ -336,7 +325,7 @@ impl<T: Send + 'static> Worker<T> {
                 cells,
                 tasks,
             } => {
-                self.record(TraceEventKind::Adopt { origin });
+                self.ctl.record(TraceEventKind::Adopt { origin });
                 let slab = Slab::from_entries(cells);
                 let prev = self.shards.insert(origin, slab);
                 assert!(prev.is_none(), "adopted an already-hosted shard");
@@ -351,87 +340,39 @@ impl<T: Send + 'static> Worker<T> {
         }
     }
 
-    fn pick_victim(&mut self) -> Option<WorkerId> {
-        let n = self.shared.cfg.workers;
-        let candidates: Vec<WorkerId> = (0..n)
-            .filter(|&w| w != self.id && self.shared.active[w].load(Ordering::Acquire))
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        match self.shared.cfg.victim_policy {
-            VictimPolicy::UniformRandom => {
-                Some(candidates[self.rng.gen_range(0..candidates.len())])
-            }
-            VictimPolicy::RoundRobin => {
-                self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                Some(candidates[self.rr_cursor % candidates.len()])
-            }
-        }
-    }
-
-    /// One steal attempt. Returns `true` if a task was obtained.
-    fn steal_once(&mut self) -> bool {
-        match self.shared.cfg.steal_protocol {
-            StealProtocol::SharedMemory => self.steal_once_shared(),
-            StealProtocol::Message => self.steal_once_message(),
-        }
-    }
-
-    fn steal_once_shared(&mut self) -> bool {
-        let Some(victim) = self.pick_victim() else {
-            return false;
-        };
+    /// Direct steal from the victim's shared deque.
+    fn try_steal_shared(&mut self, victim: WorkerId) -> StealAttempt<Task<T>> {
         match self.shared.deques[victim].steal(self.shared.cfg.steal_end) {
-            Some(task) => {
-                self.stats.tasks_stolen += 1;
-                self.record(TraceEventKind::StealSuccess { victim });
-                self.push_local(task);
-                true
-            }
-            None => {
-                self.stats.failed_steal_attempts += 1;
-                self.record(TraceEventKind::StealFail { victim });
-                false
-            }
+            Some(task) => StealAttempt::Got(task),
+            None => StealAttempt::Empty,
         }
     }
 
-    fn steal_once_message(&mut self) -> bool {
-        let Some(victim) = self.pick_victim() else {
-            return false;
-        };
+    /// Split-phase message steal: send a request, then keep serving our own
+    /// mailboxes (including steal requests from others) and any ready work
+    /// that lands here until the reply arrives. Returns
+    /// [`StealAttempt::Pending`] only when the job finishes mid-exchange —
+    /// the reply no longer matters and must not be counted as a failure.
+    fn try_steal_message(&mut self, victim: WorkerId) -> StealAttempt<Task<T>> {
         debug_assert!(self.steal_reply.is_none());
         self.send_msg(victim, Msg::StealRequest { thief: self.id });
-        // Split-phase wait: keep serving our own mailboxes (including steal
-        // requests from others) until the reply lands.
         loop {
             if self.shared.done.load(Ordering::Acquire) {
-                // Job finished while we waited; the reply no longer matters.
                 self.steal_reply = None;
-                return false;
+                return StealAttempt::Pending;
             }
             self.drain_mailboxes();
             if let Some(reply) = self.steal_reply.take() {
                 return match reply {
-                    Some(task) => {
-                        self.stats.tasks_stolen += 1;
-                        self.record(TraceEventKind::StealSuccess { victim });
-                        self.push_local(task);
-                        true
-                    }
-                    None => {
-                        self.stats.failed_steal_attempts += 1;
-                        self.record(TraceEventKind::StealFail { victim });
-                        false
-                    }
+                    Some(task) => StealAttempt::Got(task),
+                    None => StealAttempt::Empty,
                 };
             }
             // While waiting for a reply we might have been handed ready
             // work (a fired continuation): run it rather than idle.
             if let Some((task, len)) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order) {
                 self.sample_in_use_with_deque(len);
-                self.execute(task);
+                self.exec_task(task);
             } else {
                 std::hint::spin_loop();
                 std::thread::yield_now();
@@ -439,16 +380,18 @@ impl<T: Send + 'static> Worker<T> {
         }
     }
 
-    fn execute(&mut self, task: Task<T>) {
+    /// Executes one task body, accounting it (tasks executed, trace, busy
+    /// time, working set). Also used while waiting out a split-phase steal,
+    /// which is why the substrate — not the kernel — owns exec accounting.
+    fn exec_task(&mut self, task: Task<T>) {
         self.in_task = true;
-        self.stats.tasks_executed += 1;
-        self.record(TraceEventKind::Exec);
+        self.ctl.note_exec();
         if self.shared.cfg.track_busy {
             let t0 = Instant::now();
-            (task.run)(self);
-            self.stats.busy_ns += t0.elapsed().as_nanos() as u64;
+            CpsWorkload::execute(task, self);
+            self.ctl.stats.busy_ns += t0.elapsed().as_nanos() as u64;
         } else {
-            (task.run)(self);
+            CpsWorkload::execute(task, self);
         }
         self.in_task = false;
     }
@@ -456,7 +399,7 @@ impl<T: Send + 'static> Worker<T> {
     /// Attempts to leave the computation, migrating all hosted state to an
     /// adoptive participant. Fails (returns `false`) when this worker is
     /// the last active participant — someone has to finish the job.
-    fn try_retire(&mut self) -> bool {
+    fn retire_now(&mut self) -> bool {
         // Reserve the right to leave: never drop active_count to zero.
         loop {
             let n = self.shared.active_count.load(Ordering::Acquire);
@@ -476,8 +419,11 @@ impl<T: Send + 'static> Worker<T> {
         // Final drain: anything that reaches our mailboxes after this is
         // picked up by the adoptee, which inherits polling duty.
         self.drain_mailboxes();
+        let mut candidates = Vec::new();
+        self.victim_candidates(&mut candidates);
         let adoptee = self
-            .pick_victim()
+            .ctl
+            .choose_victim(&candidates)
             .expect("an active participant exists: count was > 1");
         let mut tasks = self.shared.deques[self.id].drain_all();
         let origins: Vec<WorkerId> = self.shards.keys().copied().collect();
@@ -496,7 +442,7 @@ impl<T: Send + 'static> Worker<T> {
         }
         self.shards.clear();
         self.polled_mailboxes.clear();
-        self.record(TraceEventKind::Retire);
+        self.ctl.record(TraceEventKind::Retire);
         self.retired = true;
         true
     }
@@ -506,39 +452,61 @@ impl<T: Send + 'static> Worker<T> {
         self.retired
     }
 
-    /// The scheduling loop: run until the job completes or this worker
-    /// retires. Returns the worker's final statistics.
+    /// Runs this worker to completion under the kernel's scheduling loop
+    /// and returns its final statistics.
     pub(crate) fn run_loop(&mut self) -> WorkerStats {
-        let start = Instant::now();
-        let mut consecutive_failed: u64 = 0;
-        let attempts_per_round = (self.shared.cfg.workers.saturating_sub(1)).max(1) as u64;
-        while !self.shared.done.load(Ordering::Acquire) {
-            self.drain_mailboxes();
-            if self.shared.done.load(Ordering::Acquire) {
-                break;
-            }
-            if let Some((task, len)) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order) {
-                consecutive_failed = 0;
-                self.sample_in_use_with_deque(len);
-                self.execute(task);
-                continue;
-            }
-            if self.steal_once() {
-                consecutive_failed = 0;
-                continue;
-            }
-            consecutive_failed += 1;
-            if let RetirePolicy::AfterFailedRounds(rounds) = self.shared.cfg.retire {
-                if consecutive_failed >= u64::from(rounds) * attempts_per_round && self.try_retire()
-                {
-                    break;
-                }
-            }
-            std::hint::spin_loop();
-            std::thread::yield_now();
+        SchedulerCore::new().run(self);
+        self.ctl.stats
+    }
+}
+
+impl<T: Send + 'static> Substrate for Worker<T> {
+    type Load = CpsWorkload<T>;
+
+    fn ctl(&mut self) -> &mut KernelCtl {
+        &mut self.ctl
+    }
+
+    fn done(&self) -> bool {
+        self.shared.done.load(Ordering::Acquire)
+    }
+
+    fn drain(&mut self) -> ControlFlow<()> {
+        self.drain_mailboxes();
+        ControlFlow::Continue(())
+    }
+
+    fn pop_local(&mut self) -> Option<Task<T>> {
+        let (task, len) = self.shared.deques[self.id].pop(self.shared.cfg.exec_order)?;
+        self.sample_in_use_with_deque(len);
+        Some(task)
+    }
+
+    fn victim_candidates(&mut self, buf: &mut Vec<WorkerId>) {
+        let n = self.shared.cfg.workers;
+        buf.extend(
+            (0..n).filter(|&w| w != self.id && self.shared.active[w].load(Ordering::Acquire)),
+        );
+    }
+
+    fn try_steal(&mut self, victim: WorkerId) -> StealAttempt<Task<T>> {
+        match self.shared.cfg.steal_protocol {
+            StealProtocol::SharedMemory => self.try_steal_shared(victim),
+            StealProtocol::Message => self.try_steal_message(victim),
         }
-        self.stats.participation_ns = start.elapsed().as_nanos() as u64;
-        self.stats
+    }
+
+    fn admit(&mut self, loot: Task<T>) {
+        self.push_local(loot);
+    }
+
+    fn execute(&mut self, task: Task<T>) -> ControlFlow<()> {
+        self.exec_task(task);
+        ControlFlow::Continue(())
+    }
+
+    fn try_retire(&mut self) -> bool {
+        self.retire_now()
     }
 }
 

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use phish_core::codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
-use phish_core::{Cell, Cont, Engine, ExecOrder, ReadyDeque, SchedulerConfig, Slab, StealEnd, Worker};
+use phish_core::{
+    Cell, Cont, Engine, ExecOrder, ReadyDeque, SchedulerConfig, Slab, StealEnd, Worker,
+};
 
 // ---------------------------------------------------------------------
 // Deque: any interleaving of owner ops and steals is a permutation — no

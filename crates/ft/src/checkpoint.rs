@@ -191,8 +191,14 @@ mod tests {
                 let mid = (self.lo + self.hi) / 2;
                 SpecStep::Expand {
                     children: vec![
-                        Sum { lo: self.lo, hi: mid },
-                        Sum { lo: mid + 1, hi: self.hi },
+                        Sum {
+                            lo: self.lo,
+                            hi: mid,
+                        },
+                        Sum {
+                            lo: mid + 1,
+                            hi: self.hi,
+                        },
                     ],
                     partial: 0,
                 }

@@ -23,8 +23,6 @@ pub mod checkpoint;
 pub mod engine;
 pub mod ledger;
 
-pub use checkpoint::{
-    resume_parallel, run_checkpointed, run_slice, Checkpoint, SliceOutcome,
-};
+pub use checkpoint::{resume_parallel, run_checkpointed, run_slice, Checkpoint, SliceOutcome};
 pub use engine::{CrashPlan, FtConfig, FtReport, RecoveringEngine};
 pub use ledger::{AssignmentId, EntryId, Ledger};

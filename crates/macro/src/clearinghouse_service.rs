@@ -188,7 +188,10 @@ pub struct ClearinghouseClient {
 impl ClearinghouseClient {
     /// Registers, returning the roster.
     pub fn register(&mut self, timeout: Duration) -> Option<Roster> {
-        match self.rpc.call_blocking(self.server, ChRequest::Register, timeout) {
+        match self
+            .rpc
+            .call_blocking(self.server, ChRequest::Register, timeout)
+        {
             Some(ChReply::Roster(r)) => Some(r),
             _ => None,
         }
@@ -197,14 +200,18 @@ impl ClearinghouseClient {
     /// Unregisters (clean exit).
     pub fn unregister(&mut self, timeout: Duration) -> bool {
         matches!(
-            self.rpc.call_blocking(self.server, ChRequest::Unregister, timeout),
+            self.rpc
+                .call_blocking(self.server, ChRequest::Unregister, timeout),
             Some(ChReply::Ack)
         )
     }
 
     /// The periodic update: fresh roster plus an implicit heartbeat.
     pub fn update(&mut self, timeout: Duration) -> Option<Roster> {
-        match self.rpc.call_blocking(self.server, ChRequest::Update, timeout) {
+        match self
+            .rpc
+            .call_blocking(self.server, ChRequest::Update, timeout)
+        {
             Some(ChReply::Roster(r)) => Some(r),
             _ => None,
         }
@@ -213,7 +220,8 @@ impl ClearinghouseClient {
     /// A bare heartbeat.
     pub fn heartbeat(&mut self, timeout: Duration) -> bool {
         matches!(
-            self.rpc.call_blocking(self.server, ChRequest::Heartbeat, timeout),
+            self.rpc
+                .call_blocking(self.server, ChRequest::Heartbeat, timeout),
             Some(ChReply::Ack)
         )
     }
@@ -229,7 +237,10 @@ impl ClearinghouseClient {
 
     /// Drains the crashed-worker list (recovery layer).
     pub fn take_crashed(&mut self, timeout: Duration) -> Vec<NodeId> {
-        match self.rpc.call_blocking(self.server, ChRequest::TakeCrashed, timeout) {
+        match self
+            .rpc
+            .call_blocking(self.server, ChRequest::TakeCrashed, timeout)
+        {
             Some(ChReply::Crashed(v)) => v,
             _ => Vec::new(),
         }

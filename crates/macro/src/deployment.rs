@@ -233,7 +233,15 @@ fn workstation_thread(
                     let more = manager.on_job_reply(central.clock.now(), reply);
                     for a in more {
                         if let ManagerAction::StartWorker(assignment) = a {
-                            run_participant(ws, &central, &mut manager, &mut stats, assignment.job, &observe, cadences);
+                            run_participant(
+                                ws,
+                                &central,
+                                &mut manager,
+                                &mut stats,
+                                assignment.job,
+                                &observe,
+                                cadences,
+                            );
                         }
                     }
                 }
@@ -307,8 +315,7 @@ fn run_one_participation(
             // Priority preemption — "the only case in which the macro-level
             // scheduler performs time-sharing" (§2): a strictly
             // higher-priority job waiting in the pool takes this machine.
-            let preempt = actions.is_empty()
-                && central.jobq.lock().should_preempt(job).is_some();
+            let preempt = actions.is_empty() && central.jobq.lock().should_preempt(job).is_some();
             if preempt {
                 evict.store(true, Ordering::Release);
                 let exit = worker.join().expect("worker body panicked");

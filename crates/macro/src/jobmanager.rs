@@ -355,7 +355,10 @@ mod tests {
         let actions = m.tick(t0 + JOB_REQUEST_RETRY, &BUSY);
         assert!(actions.is_empty());
         assert_eq!(*m.state(), ManagerState::OwnerActive);
-        assert_eq!(m.next_timer(), t0 + JOB_REQUEST_RETRY + OWNER_POLL_WHILE_BUSY);
+        assert_eq!(
+            m.next_timer(),
+            t0 + JOB_REQUEST_RETRY + OWNER_POLL_WHILE_BUSY
+        );
     }
 
     #[test]

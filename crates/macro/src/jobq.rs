@@ -163,10 +163,9 @@ impl JobQ {
         let pos = match self.policy {
             // First eligible in rotation order; the rotate below makes it
             // round-robin.
-            AssignPolicy::RoundRobin | AssignPolicy::FirstComeFirstServed => self
-                .rotation
-                .iter()
-                .position(|id| eligible(&self.jobs, id)),
+            AssignPolicy::RoundRobin | AssignPolicy::FirstComeFirstServed => {
+                self.rotation.iter().position(|id| eligible(&self.jobs, id))
+            }
             AssignPolicy::LeastLoaded => self
                 .rotation
                 .iter()

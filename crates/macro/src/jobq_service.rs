@@ -56,9 +56,7 @@ impl WireSized for JobQRequest {
 impl WireSized for JobQReply {
     fn wire_bytes(&self) -> usize {
         match self {
-            JobQReply::Assignment(Some(a)) => {
-                phish_net::message::HEADER_BYTES + a.name.len() + 8
-            }
+            JobQReply::Assignment(Some(a)) => phish_net::message::HEADER_BYTES + a.name.len() + 8,
             _ => phish_net::message::HEADER_BYTES + 8,
         }
     }
@@ -168,7 +166,10 @@ pub struct JobQClient {
 impl JobQClient {
     /// "When a workstation becomes idle, it requests a job."
     pub fn request_job(&mut self, timeout: Duration) -> Option<JobAssignment> {
-        match self.rpc.call_blocking(self.server, JobQRequest::RequestJob, timeout) {
+        match self
+            .rpc
+            .call_blocking(self.server, JobQRequest::RequestJob, timeout)
+        {
             Some(JobQReply::Assignment(a)) => a,
             _ => None,
         }
@@ -205,7 +206,10 @@ impl JobQClient {
 
     /// Fetches queue statistics.
     pub fn stats(&mut self, timeout: Duration) -> Option<JobQStats> {
-        match self.rpc.call_blocking(self.server, JobQRequest::Stats, timeout) {
+        match self
+            .rpc
+            .call_blocking(self.server, JobQRequest::Stats, timeout)
+        {
             Some(JobQReply::Stats(s)) => Some(s),
             _ => None,
         }
@@ -271,7 +275,10 @@ mod tests {
     fn empty_pool_gives_negative_reply() {
         let mut svc = JobQService::start(AssignPolicy::RoundRobin, 1);
         let mut ws = svc.take_client(0);
-        assert!(ws.request_job(T).is_none(), "empty pool responds negatively");
+        assert!(
+            ws.request_job(T).is_none(),
+            "empty pool responds negatively"
+        );
         let q = svc.shutdown();
         assert_eq!(q.stats().refusals, 1);
     }

@@ -35,9 +35,7 @@ pub use clearinghouse::{
     Clearinghouse, ClearinghouseStats, Participant, Roster, HEARTBEAT_INTERVAL, HEARTBEAT_MISSES,
     UPDATE_INTERVAL,
 };
-pub use clearinghouse_service::{
-    ChReply, ChRequest, ClearinghouseClient, ClearinghouseService,
-};
+pub use clearinghouse_service::{ChReply, ChRequest, ClearinghouseClient, ClearinghouseService};
 pub use deployment::{
     Deployment, DeploymentConfig, JobOutcomeStats, OwnerScript, ParticipantExit, WorkerBody,
 };
@@ -45,8 +43,8 @@ pub use idleness::{
     IdlenessPolicy, LoadBelowThreshold, NobodyLoggedIn, OwnerObservation, VacantAndQuiet,
 };
 pub use jobmanager::{
-    Cadences, ExitReason, JobManager, KillReason, ManagerAction, ManagerState,
-    JOB_REQUEST_RETRY, OWNER_POLL_WHILE_BUSY, OWNER_POLL_WHILE_RUNNING,
+    Cadences, ExitReason, JobManager, KillReason, ManagerAction, ManagerState, JOB_REQUEST_RETRY,
+    OWNER_POLL_WHILE_BUSY, OWNER_POLL_WHILE_RUNNING,
 };
 pub use jobq::{AssignPolicy, JobAssignment, JobId, JobQ, JobQStats, JobSpec};
 pub use jobq_service::{JobQClient, JobQReply, JobQRequest, JobQService};

@@ -91,7 +91,8 @@ where
         let wire = self.next_wire_id;
         self.next_wire_id += 1;
         self.wire_to_req.insert(wire, req_id);
-        self.endpoint.send(server, RpcFrame::Request { id: wire, body });
+        self.endpoint
+            .send(server, RpcFrame::Request { id: wire, body });
         req_id
     }
 
@@ -159,7 +160,10 @@ where
 {
     /// Wraps an endpoint as an RPC server.
     pub fn new(endpoint: Endpoint<RpcFrame<Req, Resp>>) -> Self {
-        Self { endpoint, served: 0 }
+        Self {
+            endpoint,
+            served: 0,
+        }
     }
 
     /// This server's network address.
@@ -185,7 +189,8 @@ where
         match env.body {
             RpcFrame::Request { id, body } => {
                 let reply = handler(env.src, body);
-                self.endpoint.send(env.src, RpcFrame::Reply { id, body: reply });
+                self.endpoint
+                    .send(env.src, RpcFrame::Reply { id, body: reply });
                 self.served += 1;
                 true
             }
@@ -245,7 +250,9 @@ mod tests {
     fn split_phase_overlaps_requests() {
         let (mut client, mut server) = pair();
         // Issue all requests before the server answers any: split-phase.
-        let ids: Vec<_> = (0..10u64).map(|i| client.call_split(NodeId(1), i)).collect();
+        let ids: Vec<_> = (0..10u64)
+            .map(|i| client.call_split(NodeId(1), i))
+            .collect();
         assert_eq!(client.outstanding(), 10);
         let mut square = |_, x: u64| x * x;
         for _ in 0..10 {

@@ -61,7 +61,8 @@ impl<R> SplitPhase<R> {
     /// [`SplitPhase::complete`].
     pub fn register_with(&mut self, cont: impl FnOnce(R) + Send + 'static) -> RequestId {
         let id = self.fresh_id();
-        self.pending.insert(id, Pending::Continuation(Box::new(cont)));
+        self.pending
+            .insert(id, Pending::Continuation(Box::new(cont)));
         id
     }
 

@@ -61,7 +61,11 @@ impl<E: Eq> EventQueue<E> {
     /// Schedules `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics.
     pub fn schedule_at(&mut self, at: Nanos, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Scheduled {

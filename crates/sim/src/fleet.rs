@@ -10,8 +10,8 @@
 //! whose coarseness underlies the §3 scalability conjecture.
 
 use phish_macro::{
-    AssignPolicy, ExitReason, IdlenessPolicy, JobId, JobManager, JobQ, JobSpec,
-    LoadBelowThreshold, ManagerAction, NobodyLoggedIn, UPDATE_INTERVAL,
+    AssignPolicy, ExitReason, IdlenessPolicy, JobId, JobManager, JobQ, JobSpec, LoadBelowThreshold,
+    ManagerAction, NobodyLoggedIn, UPDATE_INTERVAL,
 };
 use phish_net::time::{Nanos, SECOND};
 
@@ -178,9 +178,7 @@ struct JobState {
 
 impl JobState {
     fn parallelism(&self) -> u32 {
-        self.phases
-            .get(self.phase_idx)
-            .map_or(0, |p| p.parallelism)
+        self.phases.get(self.phase_idx).map_or(0, |p| p.parallelism)
     }
 
     fn rate(&self) -> u64 {
@@ -274,9 +272,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         q.schedule_at(m.next_timer(), Ev::ManagerTimer { ws });
     }
 
-    let job_index_of = |jobs: &[JobState], id: JobId| -> Option<usize> {
-        jobs.iter().position(|j| j.id == id)
-    };
+    let job_index_of =
+        |jobs: &[JobState], id: JobId| -> Option<usize> { jobs.iter().position(|j| j.id == id) };
 
     while let Some((now, ev)) = q.pop() {
         if now > cfg.max_time {
@@ -300,7 +297,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                             for a in more {
                                 if let ManagerAction::StartWorker(assign) = a {
                                     if let Some(ji) = job_index_of(&jobs, assign.job) {
-                                        join_job(ws, ji, now, &mut jobs, &mut participating, &mut q);
+                                        join_job(
+                                            ws,
+                                            ji,
+                                            now,
+                                            &mut jobs,
+                                            &mut participating,
+                                            &mut q,
+                                        );
                                         registrations += 1;
                                     }
                                 }
@@ -316,7 +320,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     reschedule = true;
                 }
                 if reschedule {
-                    q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+                    q.schedule_at(
+                        managers[ws].next_timer().max(now + 1),
+                        Ev::ManagerTimer { ws },
+                    );
                 }
             }
             Ev::JobCheck { job, gen } => {
@@ -324,18 +331,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     continue;
                 }
                 jobs[job].accrue(now);
-                if jobs[job].done() {
-                    complete_job(
-                        job,
-                        now,
-                        &mut jobs,
-                        &mut jobq,
-                        &mut managers,
-                        &mut participating,
-                        &mut jobq_messages,
-                        &mut q,
-                    );
-                } else {
+                if !jobs[job].done() {
                     reschedule_job(job, now, &mut jobs, &mut q);
                     schedule_shrink_exits(job, now, cfg, &mut jobs, &mut q);
                 }
@@ -371,8 +367,30 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                         }
                     }
                 }
-                q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+                q.schedule_at(
+                    managers[ws].next_timer().max(now + 1),
+                    Ev::ManagerTimer { ws },
+                );
             }
+        }
+        // A job's final accrual can happen inside join/leave (participant
+        // churn), after which no JobCheck is ever rescheduled — so sweep for
+        // newly finished jobs here. Completing one job migrates its
+        // participants, which can finish another; repeat until stable.
+        while let Some(ji) = jobs
+            .iter()
+            .position(|j| j.done() && j.completed_at.is_none())
+        {
+            complete_job(
+                ji,
+                now,
+                &mut jobs,
+                &mut jobq,
+                &mut managers,
+                &mut participating,
+                &mut jobq_messages,
+                &mut q,
+            );
         }
     }
 
@@ -396,10 +414,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     }
     // Clearinghouse traffic: register/unregister pairs plus one update per
     // participant per 2 minutes of participation.
-    let updates: u64 = jobs
-        .iter()
-        .map(|j| j.busy_time / UPDATE_INTERVAL)
-        .sum();
+    let updates: u64 = jobs.iter().map(|j| j.busy_time / UPDATE_INTERVAL).sum();
     FleetReport {
         makespan,
         completions: jobs.iter().map(|j| j.completed_at).collect(),
@@ -514,7 +529,10 @@ fn complete_job(
                 }
             }
         }
-        q.schedule_at(managers[ws].next_timer().max(now + 1), Ev::ManagerTimer { ws });
+        q.schedule_at(
+            managers[ws].next_timer().max(now + 1),
+            Ev::ManagerTimer { ws },
+        );
     }
 }
 

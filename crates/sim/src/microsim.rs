@@ -8,6 +8,17 @@
 //! (speedup vs P) up to 32+ participants on any host, and how the §6
 //! heterogeneous-network experiment measures traffic across thin cuts.
 //!
+//! The simulator is the kernel's virtual-clock substrate: it is event-driven
+//! rather than loop-driven, so instead of running
+//! [`SchedulerCore::run`](phish_core::SchedulerCore::run) it drives the
+//! kernel's per-worker [`KernelCtl`] primitives from its event handlers —
+//! victim choice ([`KernelCtl::choose_victim`] over a substrate-filtered
+//! candidate set, which is how [`MicroVictimPolicy::ClusterFirst`]
+//! composes with the kernel's uniform draw), spec stepping
+//! ([`SpecWorkload`] through a [`SpecSink`]), and all statistics
+//! accounting. Each simulated worker owns a decorrelated RNG stream seeded
+//! exactly like the threaded engines' workers.
+//!
 //! Model notes (documented deviations, all second-order for the measured
 //! curves): a steal attempt resolves atomically at the thief after one
 //! round trip — the victim-side pop is not separately timed; task results
@@ -16,10 +27,8 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use phish_core::{SpecStep, SpecTask};
+use phish_core::kernel::{KernelCtl, SpecSink, SpecWorkload, Workload};
+use phish_core::{JobStats, SpecStep, SpecTask, VictimPolicy};
 use phish_net::time::Nanos;
 
 use crate::events::EventQueue;
@@ -72,20 +81,13 @@ impl MicroSimConfig {
 pub struct MicroReport {
     /// Virtual completion time (all participants start at 0).
     pub completion_ns: Nanos,
-    /// Virtual busy time per worker.
-    pub per_worker_busy: Vec<Nanos>,
-    /// Tasks executed per worker.
-    pub per_worker_tasks: Vec<u64>,
-    /// Total tasks executed.
-    pub tasks_executed: u64,
-    /// Successful steals.
-    pub steals: u64,
+    /// Unified scheduler statistics in virtual time: tasks executed,
+    /// steals (successful / failed), messages, spawns, and per-worker
+    /// busy time all live here, counted by the same kernel code the
+    /// threaded engines use. `elapsed_ns` equals `completion_ns`.
+    pub stats: JobStats,
     /// Steals that crossed a cluster boundary.
     pub inter_cluster_steals: u64,
-    /// Failed steal attempts.
-    pub failed_attempts: u64,
-    /// Total messages (steal requests + replies + result returns).
-    pub messages: u64,
     /// Bytes carried across cluster boundaries.
     pub inter_cluster_bytes: u64,
 }
@@ -93,11 +95,16 @@ pub struct MicroReport {
 impl MicroReport {
     /// Aggregate busy fraction: Σ busy / (P · completion).
     pub fn efficiency(&self) -> f64 {
-        if self.completion_ns == 0 || self.per_worker_busy.is_empty() {
+        if self.completion_ns == 0 || self.stats.per_worker.is_empty() {
             return 0.0;
         }
-        let busy: u128 = self.per_worker_busy.iter().map(|b| *b as u128).sum();
-        busy as f64 / (self.completion_ns as f64 * self.per_worker_busy.len() as f64)
+        let busy: u128 = self
+            .stats
+            .per_worker
+            .iter()
+            .map(|w| w.busy_ns as u128)
+            .sum();
+        busy as f64 / (self.completion_ns as f64 * self.stats.per_worker.len() as f64)
     }
 }
 
@@ -161,12 +168,38 @@ enum Ev {
 struct WorkerState<S> {
     deque: VecDeque<S>,
     busy: bool,
-    busy_ns: Nanos,
-    tasks: u64,
     /// Current task, stepped at completion time.
     current: Option<S>,
     /// Consecutive failed local attempts (for ClusterFirst).
     local_failures: u32,
+    /// Kernel control block: victim RNG stream and statistics.
+    ctl: KernelCtl,
+}
+
+/// Routes one stepped spec's effects: results merge into the job
+/// accumulator, children become ready on the finishing worker's deque
+/// (outstanding-counted first), completion decrements the counter.
+struct MicroSink<'a, S: SpecTask> {
+    acc: &'a mut S::Output,
+    outstanding: &'a mut u64,
+    worker: &'a mut WorkerState<S>,
+}
+
+impl<S: SpecTask> SpecSink<S> for MicroSink<'_, S> {
+    fn merge(&mut self, out: S::Output) {
+        let prev = std::mem::replace(self.acc, S::identity());
+        *self.acc = S::merge(prev, out);
+    }
+
+    fn spawn(&mut self, children: Vec<S>) {
+        self.worker.ctl.note_spawn(children.len() as u64);
+        *self.outstanding += children.len() as u64;
+        self.worker.deque.extend(children);
+    }
+
+    fn finished(&mut self) {
+        *self.outstanding -= 1;
+    }
 }
 
 /// Runs the spec tree under the virtual-time scheduler. Returns the exact
@@ -174,27 +207,26 @@ struct WorkerState<S> {
 pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, MicroReport) {
     let p = cfg.topology.workers();
     assert!(p >= 1, "need at least one worker");
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut workers: Vec<WorkerState<S>> = (0..p)
-        .map(|_| WorkerState {
+        .map(|w| WorkerState {
             deque: VecDeque::new(),
             busy: false,
-            busy_ns: 0,
-            tasks: 0,
             current: None,
             local_failures: 0,
+            ctl: KernelCtl::new(w, p, VictimPolicy::UniformRandom, cfg.seed),
         })
         .collect();
     let mut acc = S::identity();
     let mut outstanding: u64 = 1;
-    let mut report = MicroReport::default();
+    let mut completion_ns: Nanos = 0;
+    let mut inter_cluster_steals: u64 = 0;
+    let mut inter_cluster_bytes: u64 = 0;
 
     // Seed: root on worker 0; everyone else immediately turns thief.
     workers[0].deque.push_back(root);
-    start_or_steal(0, &mut workers, &mut q, cfg, &mut rng, &mut report);
-    for w in 1..p {
-        start_or_steal(w, &mut workers, &mut q, cfg, &mut rng, &mut report);
+    for w in 0..p {
+        start_or_steal(w, &mut workers, &mut q, cfg);
     }
 
     while let Some((now, ev)) = q.pop() {
@@ -208,26 +240,18 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
                     .take()
                     .expect("finish without a current task");
                 workers[worker].busy = false;
-                workers[worker].tasks += 1;
-                report.tasks_executed += 1;
-                match spec.step() {
-                    SpecStep::Leaf(out) => {
-                        acc = S::merge(acc, out);
-                    }
-                    SpecStep::Expand { children, partial } => {
-                        acc = S::merge(acc, partial);
-                        outstanding += children.len() as u64;
-                        for c in children {
-                            workers[worker].deque.push_back(c);
-                        }
-                    }
-                }
-                outstanding -= 1;
+                workers[worker].ctl.note_exec();
+                let mut sink = MicroSink {
+                    acc: &mut acc,
+                    outstanding: &mut outstanding,
+                    worker: &mut workers[worker],
+                };
+                SpecWorkload::execute(spec, &mut sink);
                 if outstanding == 0 {
-                    report.completion_ns = now;
+                    completion_ns = now;
                     break;
                 }
-                start_or_steal(worker, &mut workers, &mut q, cfg, &mut rng, &mut report);
+                start_or_steal(worker, &mut workers, &mut q, cfg);
             }
             Ev::StealResolve { thief, victim } => {
                 if workers[thief].busy {
@@ -236,36 +260,41 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
                 }
                 // FIFO steal: oldest task, front of the victim's deque.
                 if let Some(spec) = workers[victim].deque.pop_front() {
-                    report.steals += 1;
+                    workers[thief].ctl.note_steal_success(victim);
                     workers[thief].local_failures = 0;
                     let crossing = !cfg.topology.same_cluster(thief, victim);
                     if crossing {
-                        report.inter_cluster_steals += 1;
+                        inter_cluster_steals += 1;
                         // Request + reply-with-task + eventual result return.
-                        report.inter_cluster_bytes += 3 * cfg.msg_bytes as u64;
+                        inter_cluster_bytes += 3 * cfg.msg_bytes as u64;
                     }
                     // Result-return message charged up front (bookkeeping
                     // only; virtual time charges land in the RTT already
                     // paid).
-                    report.messages += 1;
+                    workers[thief].ctl.stats.messages_sent += 1;
                     workers[thief].deque.push_back(spec);
-                    start_task(thief, &mut workers, &mut q, cfg, &mut report);
+                    start_task(thief, &mut workers, &mut q, cfg);
                 } else {
-                    report.failed_attempts += 1;
+                    workers[thief].ctl.note_steal_fail(victim);
                     if cfg.topology.same_cluster(thief, victim) {
                         workers[thief].local_failures += 1;
                     }
-                    schedule_steal(thief, &mut workers, &mut q, cfg, &mut rng, &mut report);
+                    schedule_steal(thief, &mut workers, &mut q, cfg);
                 }
             }
         }
     }
-    if report.completion_ns == 0 {
-        report.completion_ns = q.now();
+    if completion_ns == 0 {
+        completion_ns = q.now();
     }
-    report.per_worker_busy = workers.iter().map(|w| w.busy_ns).collect();
-    report.per_worker_tasks = workers.iter().map(|w| w.tasks).collect();
     assert_eq!(outstanding, 0, "simulation drained without finishing");
+    let per_worker = workers.iter().map(|w| w.ctl.stats).collect();
+    let report = MicroReport {
+        completion_ns,
+        stats: JobStats::from_workers(per_worker, completion_ns),
+        inter_cluster_steals,
+        inter_cluster_bytes,
+    };
     (acc, report)
 }
 
@@ -274,13 +303,11 @@ fn start_or_steal<S: SpecTask>(
     workers: &mut [WorkerState<S>],
     q: &mut EventQueue<Ev>,
     cfg: &MicroSimConfig,
-    rng: &mut SmallRng,
-    report: &mut MicroReport,
 ) {
     if workers[worker].deque.is_empty() {
-        schedule_steal(worker, workers, q, cfg, rng, report);
+        schedule_steal(worker, workers, q, cfg);
     } else {
-        start_task(worker, workers, q, cfg, report);
+        start_task(worker, workers, q, cfg);
     }
 }
 
@@ -289,7 +316,6 @@ fn start_task<S: SpecTask>(
     workers: &mut [WorkerState<S>],
     q: &mut EventQueue<Ev>,
     cfg: &MicroSimConfig,
-    _report: &mut MicroReport,
 ) {
     // LIFO execution: newest task, back of the deque.
     let spec = workers[worker]
@@ -299,7 +325,7 @@ fn start_task<S: SpecTask>(
     let cost = spec.virtual_cost() + cfg.sched_overhead;
     workers[worker].current = Some(spec);
     workers[worker].busy = true;
-    workers[worker].busy_ns += cost;
+    workers[worker].ctl.stats.busy_ns += cost;
     q.schedule_in(cost, Ev::Finish { worker });
 }
 
@@ -308,39 +334,39 @@ fn schedule_steal<S: SpecTask>(
     workers: &mut [WorkerState<S>],
     q: &mut EventQueue<Ev>,
     cfg: &MicroSimConfig,
-    rng: &mut SmallRng,
-    report: &mut MicroReport,
 ) {
     let p = cfg.topology.workers();
     if p <= 1 {
         return; // nobody to steal from; waiting for own work (or the end)
     }
-    let victim = pick_victim(thief, workers[thief].local_failures, cfg, rng);
+    let candidates = victim_candidates(thief, workers[thief].local_failures, cfg);
+    let victim = workers[thief]
+        .ctl
+        .choose_victim(&candidates)
+        .expect("p > 1 guarantees candidates");
     let rtt = cfg.topology.link(thief, victim).round_trip(cfg.msg_bytes);
-    report.messages += 2; // request + reply
+    workers[thief].ctl.stats.messages_sent += 2; // request + reply
     q.schedule_in(rtt, Ev::StealResolve { thief, victim });
 }
 
-fn pick_victim(thief: usize, local_failures: u32, cfg: &MicroSimConfig, rng: &mut SmallRng) -> usize {
+/// The substrate side of victim selection: which workers are eligible.
+/// The kernel's uniform draw over this set implements both policies —
+/// `Uniform` offers every other worker; `ClusterFirst` narrows to the
+/// thief's own cluster until its local attempts are exhausted.
+fn victim_candidates(thief: usize, local_failures: u32, cfg: &MicroSimConfig) -> Vec<usize> {
     let p = cfg.topology.workers();
-    let uniform_other = |rng: &mut SmallRng| {
-        let mut v = rng.gen_range(0..p - 1);
-        if v >= thief {
-            v += 1;
-        }
-        v
-    };
+    let all_others = || (0..p).filter(|w| *w != thief).collect::<Vec<_>>();
     match cfg.victim {
-        MicroVictimPolicy::Uniform => uniform_other(rng),
+        MicroVictimPolicy::Uniform => all_others(),
         MicroVictimPolicy::ClusterFirst { local_attempts } => {
             let my_cluster = cfg.topology.cluster_of[thief];
             let locals: Vec<usize> = (0..p)
                 .filter(|w| *w != thief && cfg.topology.cluster_of[*w] == my_cluster)
                 .collect();
             if locals.is_empty() || local_failures >= local_attempts {
-                uniform_other(rng)
+                all_others()
             } else {
-                locals[rng.gen_range(0..locals.len())]
+                locals
             }
         }
     }
@@ -369,8 +395,16 @@ mod tests {
                 let mid = (self.lo + self.hi) / 2;
                 SpecStep::Expand {
                     children: vec![
-                        CostedSum { lo: self.lo, hi: mid, cost: self.cost },
-                        CostedSum { lo: mid + 1, hi: self.hi, cost: self.cost },
+                        CostedSum {
+                            lo: self.lo,
+                            hi: mid,
+                            cost: self.cost,
+                        },
+                        CostedSum {
+                            lo: mid + 1,
+                            hi: self.hi,
+                            cost: self.cost,
+                        },
                     ],
                     partial: 0,
                 }
@@ -388,7 +422,11 @@ mod tests {
     }
 
     fn root(cost: Nanos) -> CostedSum {
-        CostedSum { lo: 1, hi: 100_000, cost }
+        CostedSum {
+            lo: 1,
+            hi: 100_000,
+            cost,
+        }
     }
 
     #[test]
@@ -405,8 +443,12 @@ mod tests {
     fn virtual_time_shows_speedup() {
         // Coarse tasks on a LAN: near-linear speedup, as in Figure 5.
         let cost = 100_000; // 100µs tasks
-        let t1 = run_microsim(&MicroSimConfig::ethernet(1), root(cost)).1.completion_ns;
-        let t8 = run_microsim(&MicroSimConfig::ethernet(8), root(cost)).1.completion_ns;
+        let t1 = run_microsim(&MicroSimConfig::ethernet(1), root(cost))
+            .1
+            .completion_ns;
+        let t8 = run_microsim(&MicroSimConfig::ethernet(8), root(cost))
+            .1
+            .completion_ns;
         let s8 = t1 as f64 / t8 as f64;
         assert!(s8 > 6.0, "8-way speedup only {s8:.2}");
         let t32 = run_microsim(&MicroSimConfig::ethernet(32), root(cost))
@@ -420,12 +462,12 @@ mod tests {
     fn steals_stay_rare_relative_to_tasks() {
         let cfg = MicroSimConfig::ethernet(8);
         let (_, r) = run_microsim(&cfg, root(100_000));
-        assert!(r.tasks_executed > 10_000);
+        assert!(r.stats.tasks_executed > 10_000);
         assert!(
-            r.steals * 20 < r.tasks_executed,
+            r.stats.tasks_stolen * 20 < r.stats.tasks_executed,
             "steals {} vs tasks {}",
-            r.steals,
-            r.tasks_executed
+            r.stats.tasks_stolen,
+            r.stats.tasks_executed
         );
     }
 
@@ -433,10 +475,10 @@ mod tests {
     fn single_worker_never_steals() {
         let cfg = MicroSimConfig::ethernet(1);
         let (_, r) = run_microsim(&cfg, root(1000));
-        assert_eq!(r.steals, 0);
-        assert_eq!(r.failed_attempts, 0);
-        assert_eq!(r.messages, 0);
-        assert_eq!(r.tasks_executed, r.per_worker_tasks[0]);
+        assert_eq!(r.stats.tasks_stolen, 0);
+        assert_eq!(r.stats.failed_steal_attempts, 0);
+        assert_eq!(r.stats.messages_sent, 0);
+        assert_eq!(r.stats.tasks_executed, r.stats.per_worker[0].tasks_executed);
     }
 
     #[test]
@@ -449,35 +491,31 @@ mod tests {
 
     #[test]
     fn cluster_first_reduces_cut_traffic() {
-        let topo = || {
-            Topology::clustered(
-                2,
-                4,
-                LinkModel::atm_1995(),
-                LinkModel::ethernet_1994(),
-            )
-        };
-        let uniform = MicroSimConfig {
-            topology: topo(),
-            victim: MicroVictimPolicy::Uniform,
-            seed: 1,
-            sched_overhead: 200,
-            msg_bytes: 64,
-        };
-        let biased = MicroSimConfig {
-            topology: topo(),
-            victim: MicroVictimPolicy::ClusterFirst { local_attempts: 4 },
-            seed: 1,
-            sched_overhead: 200,
-            msg_bytes: 64,
-        };
-        let (_, ru) = run_microsim(&uniform, root(50_000));
-        let (_, rb) = run_microsim(&biased, root(50_000));
+        let topo = || Topology::clustered(2, 4, LinkModel::atm_1995(), LinkModel::ethernet_1994());
+        // Individual runs see only a few dozen crossings, so compare the
+        // policies across a handful of seeds rather than one noisy draw.
+        let (mut cut_uniform, mut cut_biased) = (0u64, 0u64);
+        for seed in 1..=5 {
+            let uniform = MicroSimConfig {
+                topology: topo(),
+                victim: MicroVictimPolicy::Uniform,
+                seed,
+                sched_overhead: 200,
+                msg_bytes: 64,
+            };
+            let biased = MicroSimConfig {
+                topology: topo(),
+                victim: MicroVictimPolicy::ClusterFirst { local_attempts: 4 },
+                seed,
+                sched_overhead: 200,
+                msg_bytes: 64,
+            };
+            cut_uniform += run_microsim(&uniform, root(50_000)).1.inter_cluster_steals;
+            cut_biased += run_microsim(&biased, root(50_000)).1.inter_cluster_steals;
+        }
         assert!(
-            rb.inter_cluster_steals < ru.inter_cluster_steals,
-            "biased {} vs uniform {}",
-            rb.inter_cluster_steals,
-            ru.inter_cluster_steals
+            cut_biased < cut_uniform,
+            "biased {cut_biased} vs uniform {cut_uniform}"
         );
     }
 

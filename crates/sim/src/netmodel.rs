@@ -58,8 +58,8 @@ impl LinkModel {
 
     /// One-way delivery time for a message of `bytes`.
     pub fn transfer_time(&self, bytes: usize) -> Nanos {
-        let serialization = (bytes as u128 * 1_000_000_000u128
-            / u128::from(self.bandwidth_bps.max(1))) as Nanos;
+        let serialization =
+            (bytes as u128 * 1_000_000_000u128 / u128::from(self.bandwidth_bps.max(1))) as Nanos;
         self.overhead + self.latency + serialization
     }
 
@@ -92,7 +92,12 @@ impl Topology {
 
     /// `clusters` equal clusters of `per_cluster` workers, fast links
     /// inside and a thin link between.
-    pub fn clustered(clusters: usize, per_cluster: usize, intra: LinkModel, inter: LinkModel) -> Self {
+    pub fn clustered(
+        clusters: usize,
+        per_cluster: usize,
+        intra: LinkModel,
+        inter: LinkModel,
+    ) -> Self {
         let cluster_of = (0..clusters * per_cluster)
             .map(|w| w / per_cluster)
             .collect();
@@ -159,12 +164,7 @@ mod tests {
 
     #[test]
     fn clustered_topology_separates_cuts() {
-        let t = Topology::clustered(
-            2,
-            4,
-            LinkModel::atm_1995(),
-            LinkModel::ethernet_1994(),
-        );
+        let t = Topology::clustered(2, 4, LinkModel::atm_1995(), LinkModel::ethernet_1994());
         assert_eq!(t.workers(), 8);
         assert!(t.same_cluster(0, 3));
         assert!(!t.same_cluster(3, 4));

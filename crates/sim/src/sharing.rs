@@ -92,7 +92,10 @@ impl RunJob {
             left -= step;
             if self.remaining <= 1e-6 {
                 self.phase_idx += 1;
-                self.remaining = self.phases.get(self.phase_idx).map_or(0.0, |p| p.work as f64);
+                self.remaining = self
+                    .phases
+                    .get(self.phase_idx)
+                    .map_or(0.0, |p| p.work as f64);
             }
         }
         (used, useful)
@@ -151,7 +154,9 @@ pub fn space_share(jobs: &[SimJobSpec], procs: u32, adaptive: bool) -> SharingRe
     let k = jobs.len() as u32;
     assert!(k > 0 && procs >= k, "need at least one processor per job");
     let mut run: Vec<RunJob> = jobs.iter().map(RunJob::new).collect();
-    let mut alloc: Vec<u32> = (0..k).map(|i| procs / k + u32::from(i < procs % k)).collect();
+    let mut alloc: Vec<u32> = (0..k)
+        .map(|i| procs / k + u32::from(i < procs % k))
+        .collect();
     let mut now: f64 = 0.0;
     let mut useful_total = 0.0;
     loop {

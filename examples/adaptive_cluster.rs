@@ -52,8 +52,14 @@ fn main() {
     );
     let r = run_fleet(&cfg);
 
-    println!("{:<16} {:>14} {:>12} {:>10}", "job", "completed at", "cpu-time", "peak P");
-    for (i, name) in ["render-farm", "pfold-sweep", "nightly-tests"].iter().enumerate() {
+    println!(
+        "{:<16} {:>14} {:>12} {:>10}",
+        "job", "completed at", "cpu-time", "peak P"
+    );
+    for (i, name) in ["render-farm", "pfold-sweep", "nightly-tests"]
+        .iter()
+        .enumerate()
+    {
         let done = r.completions[i]
             .map(|t| format!("{:.1} min", t as f64 / 60e9))
             .unwrap_or_else(|| "unfinished".into());
@@ -66,7 +72,10 @@ fn main() {
         );
     }
     println!();
-    println!("makespan:               {:.1} min", r.makespan as f64 / 60e9);
+    println!(
+        "makespan:               {:.1} min",
+        r.makespan as f64 / 60e9
+    );
     println!(
         "idle capacity harvested: {:.1}% of owner-idle workstation-time",
         r.utilization() * 100.0
@@ -77,5 +86,8 @@ fn main() {
         r.jobq_msgs_per_sec(),
         r.jobq_messages
     );
-    println!("Clearinghouse traffic:  {} messages", r.clearinghouse_messages);
+    println!(
+        "Clearinghouse traffic:  {} messages",
+        r.clearinghouse_messages
+    );
 }

@@ -61,7 +61,14 @@ fn main() {
         "resumed on 4 workers: {} more tasks, {} steals",
         stats.tasks_executed, stats.tasks_stolen
     );
-    assert_eq!(hist, pfold_serial(chain), "checkpointed result must be exact");
-    println!("\ntotal foldings: {} — exact, across the restart.", count_walks(&hist));
+    assert_eq!(
+        hist,
+        pfold_serial(chain),
+        "checkpointed result must be exact"
+    );
+    println!(
+        "\ntotal foldings: {} — exact, across the restart.",
+        count_walks(&hist)
+    );
     std::fs::remove_file(&path).ok();
 }

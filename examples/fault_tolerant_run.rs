@@ -25,14 +25,17 @@ fn main() {
     assert_eq!(clean_hist, expect);
     println!(
         "crash-free run:  {:>8} tasks, {:>4} steals, {:>6.1} ms",
-        clean.total_tasks,
-        clean.steals,
-        clean.elapsed.as_secs_f64() * 1e3
+        clean.stats.tasks_executed,
+        clean.stats.tasks_stolen,
+        clean.elapsed().as_secs_f64() * 1e3
     );
 
     // Kill worker 1 early and worker 2 midway.
     let plan = CrashPlan {
-        kill_after_tasks: vec![(1, 50), (2, clean.total_tasks / workers as u64 / 2)],
+        kill_after_tasks: vec![
+            (1, 50),
+            (2, clean.stats.tasks_executed / workers as u64 / 2),
+        ],
     };
     let spec = PfoldSpec::new(n, DEFAULT_SPAWN_DEPTH);
     let (hist, r) = RecoveringEngine::run(&cfg, spec, &plan);
@@ -40,9 +43,9 @@ fn main() {
 
     println!(
         "with 2 crashes:  {:>8} tasks, {:>4} steals, {:>6.1} ms",
-        r.total_tasks,
-        r.steals,
-        r.elapsed.as_secs_f64() * 1e3
+        r.stats.tasks_executed,
+        r.stats.tasks_stolen,
+        r.elapsed().as_secs_f64() * 1e3
     );
     println!();
     println!("crashes detected:        {}", r.crashes);
@@ -51,8 +54,10 @@ fn main() {
     println!("stale reports discarded: {}", r.discarded_reports);
     println!(
         "work redone:             {} tasks ({:.1}% overhead)",
-        r.total_tasks.saturating_sub(clean.total_tasks),
-        (r.total_tasks as f64 / clean.total_tasks as f64 - 1.0) * 100.0
+        r.stats
+            .tasks_executed
+            .saturating_sub(clean.stats.tasks_executed),
+        (r.stats.tasks_executed as f64 / clean.stats.tasks_executed as f64 - 1.0) * 100.0
     );
     println!("\nresult identical to the crash-free run — \"lost work is redone\" (§3).");
 }

@@ -18,13 +18,14 @@ fn main() {
         eprintln!("sequence must be H/P characters only");
         std::process::exit(1);
     };
-    println!("folding {seq_str} ({} monomers) on the 2D lattice\n", seq.len());
+    println!(
+        "folding {seq_str} ({} monomers) on the 2D lattice\n",
+        seq.len()
+    );
 
     let t0 = std::time::Instant::now();
-    let (hist, stats) = SpecEngine::run(
-        SchedulerConfig::paper(4),
-        PfoldHpSpec::new(seq.clone(), 6),
-    );
+    let (hist, stats) =
+        SpecEngine::run(SchedulerConfig::paper(4), PfoldHpSpec::new(seq.clone(), 6));
     let elapsed = t0.elapsed();
     assert_eq!(hist, pfold_hp_serial(&seq), "parallel must equal serial");
     // Sanity: spec serial agrees too.
@@ -34,7 +35,8 @@ fn main() {
     println!("H–H contact energy histogram over {total} conformations:");
     for (contacts, count) in hist.iter().enumerate() {
         if *count > 0 {
-            let bar = "#".repeat((count * 50 / hist.iter().max().copied().unwrap_or(1).max(1)) as usize);
+            let bar =
+                "#".repeat((count * 50 / hist.iter().max().copied().unwrap_or(1).max(1)) as usize);
             println!("  E = -{contacts:<2} {count:>12}  {bar}");
         }
     }

@@ -36,7 +36,10 @@ fn main() {
     let dep = Deployment::start(cfg);
     let job = Arc::new(SpecPoolJob::new(PfoldSpec::new(chain, 7)));
     let started = std::time::Instant::now();
-    let id = dep.submit(JobSpec::named(format!("pfold {chain}")), Arc::clone(&job) as _);
+    let id = dep.submit(
+        JobSpec::named(format!("pfold {chain}")),
+        Arc::clone(&job) as _,
+    );
     assert!(
         dep.wait_job(id, Duration::from_secs(300)),
         "job did not finish"
@@ -45,9 +48,16 @@ fn main() {
     let hist = job.take_result();
     let stats = dep.shutdown();
 
-    println!("completed in {:.1} ms wall-clock", elapsed.as_secs_f64() * 1e3);
+    println!(
+        "completed in {:.1} ms wall-clock",
+        elapsed.as_secs_f64() * 1e3
+    );
     println!("total foldings: {}", count_walks(&hist));
-    assert_eq!(hist, pfold_serial(chain), "result must be exact despite churn");
+    assert_eq!(
+        hist,
+        pfold_serial(chain),
+        "result must be exact despite churn"
+    );
     println!("result verified exact against the serial fold.\n");
     println!("participation outcomes:");
     println!("  ran to completion:    {}", stats.finished_exits);

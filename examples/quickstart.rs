@@ -27,7 +27,10 @@ fn main() {
     println!("fib({n}) = {value}");
     println!("\nscheduling statistics (cf. Table 2 of the paper):");
     println!("{stats}");
-    println!("\nbest-serial time   {:>10.3} ms", serial.as_secs_f64() * 1e3);
+    println!(
+        "\nbest-serial time   {:>10.3} ms",
+        serial.as_secs_f64() * 1e3
+    );
     println!(
         "parallel time      {:>10.3} ms",
         stats.elapsed_ns as f64 / 1e6
@@ -37,7 +40,7 @@ fn main() {
          run with workers=1 to measure it exactly)",
         stats.elapsed_ns as f64 / serial.as_nanos() as f64
     );
-    let locality = 1.0
-        - stats.nonlocal_synchronizations as f64 / stats.synchronizations.max(1) as f64;
+    let locality =
+        1.0 - stats.nonlocal_synchronizations as f64 / stats.synchronizations.max(1) as f64;
     println!("local synchs       {:>10.2}%", locality * 100.0);
 }

@@ -34,18 +34,31 @@ fn main() {
     let out = args.next().unwrap_or_else(|| "scene.ppm".to_string());
 
     let (scene, camera) = benchmark_scene();
-    println!("ray: {size}x{size}, {} objects, {workers} workers", scene.objects.len());
+    println!(
+        "ray: {size}x{size}, {} objects, {workers} workers",
+        scene.objects.len()
+    );
 
     let t0 = std::time::Instant::now();
     let serial = render_serial(&scene, &camera, size, size);
     let serial_time = t0.elapsed();
-    println!("serial render:   {:>8.1} ms", serial_time.as_secs_f64() * 1e3);
+    println!(
+        "serial render:   {:>8.1} ms",
+        serial_time.as_secs_f64() * 1e3
+    );
 
     let scene = Arc::new(scene);
     let rows_per_band = (size / (workers as u32 * 4).max(1)).max(1);
     let (image, stats) = Engine::run(
         SchedulerConfig::paper(workers),
-        render_task(Arc::clone(&scene), camera, size, size, rows_per_band, Cont::ROOT),
+        render_task(
+            Arc::clone(&scene),
+            camera,
+            size,
+            size,
+            rows_per_band,
+            Cont::ROOT,
+        ),
     );
     println!(
         "parallel render: {:>8.1} ms  ({} band tasks, {} steals)",

@@ -25,7 +25,11 @@ fn main() {
     let remote = trace.count_matching(|k| matches!(k, TraceEventKind::PostRemote { .. }));
     let spawns = trace.count_matching(|k| matches!(k, TraceEventKind::Spawn));
     let execs = trace.count_matching(|k| matches!(k, TraceEventKind::Exec));
-    println!("\nevents: {} total ({} dropped)", trace.events.len(), trace.dropped);
+    println!(
+        "\nevents: {} total ({} dropped)",
+        trace.events.len(),
+        trace.dropped
+    );
     println!("  spawns       {spawns}");
     println!("  executions   {execs}");
     println!("  remote posts {remote}");

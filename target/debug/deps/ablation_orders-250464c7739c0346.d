@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_orders-250464c7739c0346.d: crates/bench/src/bin/ablation_orders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_orders-250464c7739c0346.rmeta: crates/bench/src/bin/ablation_orders.rs Cargo.toml
+
+crates/bench/src/bin/ablation_orders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_orders-809f0651c377ce69.d: crates/bench/src/bin/ablation_orders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_orders-809f0651c377ce69.rmeta: crates/bench/src/bin/ablation_orders.rs Cargo.toml
+
+crates/bench/src/bin/ablation_orders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_orders-8b6101c3e1ffeff0.d: crates/bench/src/bin/ablation_orders.rs
+
+/root/repo/target/debug/deps/ablation_orders-8b6101c3e1ffeff0: crates/bench/src/bin/ablation_orders.rs
+
+crates/bench/src/bin/ablation_orders.rs:

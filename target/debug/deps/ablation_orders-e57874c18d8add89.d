@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_orders-e57874c18d8add89.d: crates/bench/src/bin/ablation_orders.rs
+
+/root/repo/target/debug/deps/ablation_orders-e57874c18d8add89: crates/bench/src/bin/ablation_orders.rs
+
+crates/bench/src/bin/ablation_orders.rs:

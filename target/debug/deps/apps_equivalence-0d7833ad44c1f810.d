@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_equivalence-0d7833ad44c1f810.d: tests/apps_equivalence.rs
+
+/root/repo/target/debug/deps/apps_equivalence-0d7833ad44c1f810: tests/apps_equivalence.rs
+
+tests/apps_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deque-531963895a83dfe8.d: crates/bench/benches/deque.rs
+
+/root/repo/target/debug/deps/deque-531963895a83dfe8: crates/bench/benches/deque.rs
+
+crates/bench/benches/deque.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deque-846e17b5e1344959.d: crates/bench/benches/deque.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeque-846e17b5e1344959.rmeta: crates/bench/benches/deque.rs Cargo.toml
+
+crates/bench/benches/deque.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

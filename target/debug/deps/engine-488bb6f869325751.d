@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-488bb6f869325751.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-488bb6f869325751: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

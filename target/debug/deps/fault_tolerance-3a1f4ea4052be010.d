@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-3a1f4ea4052be010.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-3a1f4ea4052be010: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

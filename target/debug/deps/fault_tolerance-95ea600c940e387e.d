@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-95ea600c940e387e.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-95ea600c940e387e: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

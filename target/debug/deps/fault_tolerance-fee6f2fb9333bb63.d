@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-fee6f2fb9333bb63.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-fee6f2fb9333bb63: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

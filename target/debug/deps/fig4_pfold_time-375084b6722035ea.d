@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pfold_time-375084b6722035ea.d: crates/bench/src/bin/fig4_pfold_time.rs
+
+/root/repo/target/debug/deps/fig4_pfold_time-375084b6722035ea: crates/bench/src/bin/fig4_pfold_time.rs
+
+crates/bench/src/bin/fig4_pfold_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_pfold_time-69b79c8dad1b5073.d: crates/bench/src/bin/fig4_pfold_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_pfold_time-69b79c8dad1b5073.rmeta: crates/bench/src/bin/fig4_pfold_time.rs Cargo.toml
+
+crates/bench/src/bin/fig4_pfold_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

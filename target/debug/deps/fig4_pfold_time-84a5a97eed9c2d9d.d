@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pfold_time-84a5a97eed9c2d9d.d: crates/bench/src/bin/fig4_pfold_time.rs
+
+/root/repo/target/debug/deps/fig4_pfold_time-84a5a97eed9c2d9d: crates/bench/src/bin/fig4_pfold_time.rs
+
+crates/bench/src/bin/fig4_pfold_time.rs:

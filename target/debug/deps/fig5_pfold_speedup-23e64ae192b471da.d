@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pfold_speedup-23e64ae192b471da.d: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+/root/repo/target/debug/deps/fig5_pfold_speedup-23e64ae192b471da: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+crates/bench/src/bin/fig5_pfold_speedup.rs:

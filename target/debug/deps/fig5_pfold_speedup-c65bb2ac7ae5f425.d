@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pfold_speedup-c65bb2ac7ae5f425.d: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+/root/repo/target/debug/deps/fig5_pfold_speedup-c65bb2ac7ae5f425: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+crates/bench/src/bin/fig5_pfold_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grain_sweep-5652b3df5452a0f1.d: crates/bench/src/bin/grain_sweep.rs
+
+/root/repo/target/debug/deps/grain_sweep-5652b3df5452a0f1: crates/bench/src/bin/grain_sweep.rs
+
+crates/bench/src/bin/grain_sweep.rs:

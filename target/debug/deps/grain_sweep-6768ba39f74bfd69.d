@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grain_sweep-6768ba39f74bfd69.d: crates/bench/src/bin/grain_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrain_sweep-6768ba39f74bfd69.rmeta: crates/bench/src/bin/grain_sweep.rs Cargo.toml
+
+crates/bench/src/bin/grain_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

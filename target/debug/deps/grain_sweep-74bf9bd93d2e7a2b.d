@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grain_sweep-74bf9bd93d2e7a2b.d: crates/bench/src/bin/grain_sweep.rs
+
+/root/repo/target/debug/deps/grain_sweep-74bf9bd93d2e7a2b: crates/bench/src/bin/grain_sweep.rs
+
+crates/bench/src/bin/grain_sweep.rs:

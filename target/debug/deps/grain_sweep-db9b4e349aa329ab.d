@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grain_sweep-db9b4e349aa329ab.d: crates/bench/src/bin/grain_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrain_sweep-db9b4e349aa329ab.rmeta: crates/bench/src/bin/grain_sweep.rs Cargo.toml
+
+crates/bench/src/bin/grain_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_cuts-587ad17fae2f009d.d: crates/bench/src/bin/hetero_cuts.rs
+
+/root/repo/target/debug/deps/hetero_cuts-587ad17fae2f009d: crates/bench/src/bin/hetero_cuts.rs
+
+crates/bench/src/bin/hetero_cuts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_cuts-94abb0ee27ee54ff.d: crates/bench/src/bin/hetero_cuts.rs
+
+/root/repo/target/debug/deps/hetero_cuts-94abb0ee27ee54ff: crates/bench/src/bin/hetero_cuts.rs
+
+crates/bench/src/bin/hetero_cuts.rs:

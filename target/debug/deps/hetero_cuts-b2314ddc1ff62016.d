@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero_cuts-b2314ddc1ff62016.d: crates/bench/src/bin/hetero_cuts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero_cuts-b2314ddc1ff62016.rmeta: crates/bench/src/bin/hetero_cuts.rs Cargo.toml
+
+crates/bench/src/bin/hetero_cuts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

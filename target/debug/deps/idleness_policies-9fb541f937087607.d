@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idleness_policies-9fb541f937087607.d: crates/bench/src/bin/idleness_policies.rs
+
+/root/repo/target/debug/deps/idleness_policies-9fb541f937087607: crates/bench/src/bin/idleness_policies.rs
+
+crates/bench/src/bin/idleness_policies.rs:

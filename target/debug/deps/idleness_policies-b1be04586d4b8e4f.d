@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idleness_policies-b1be04586d4b8e4f.d: crates/bench/src/bin/idleness_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidleness_policies-b1be04586d4b8e4f.rmeta: crates/bench/src/bin/idleness_policies.rs Cargo.toml
+
+crates/bench/src/bin/idleness_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

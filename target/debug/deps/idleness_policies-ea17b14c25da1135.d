@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idleness_policies-ea17b14c25da1135.d: crates/bench/src/bin/idleness_policies.rs
+
+/root/repo/target/debug/deps/idleness_policies-ea17b14c25da1135: crates/bench/src/bin/idleness_policies.rs
+
+crates/bench/src/bin/idleness_policies.rs:

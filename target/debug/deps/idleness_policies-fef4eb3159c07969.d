@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idleness_policies-fef4eb3159c07969.d: crates/bench/src/bin/idleness_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidleness_policies-fef4eb3159c07969.rmeta: crates/bench/src/bin/idleness_policies.rs Cargo.toml
+
+crates/bench/src/bin/idleness_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jobq_properties-c384050cc094705a.d: crates/macro/tests/jobq_properties.rs
+
+/root/repo/target/debug/deps/jobq_properties-c384050cc094705a: crates/macro/tests/jobq_properties.rs
+
+crates/macro/tests/jobq_properties.rs:

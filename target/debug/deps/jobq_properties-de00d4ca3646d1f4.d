@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jobq_properties-de00d4ca3646d1f4.d: crates/macro/tests/jobq_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjobq_properties-de00d4ca3646d1f4.rmeta: crates/macro/tests/jobq_properties.rs Cargo.toml
+
+crates/macro/tests/jobq_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

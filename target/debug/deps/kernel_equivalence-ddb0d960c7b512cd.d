@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-ddb0d960c7b512cd.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-ddb0d960c7b512cd: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

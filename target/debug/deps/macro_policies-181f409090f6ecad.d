@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_policies-181f409090f6ecad.d: crates/bench/src/bin/macro_policies.rs
+
+/root/repo/target/debug/deps/macro_policies-181f409090f6ecad: crates/bench/src/bin/macro_policies.rs
+
+crates/bench/src/bin/macro_policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_policies-1cbde26fb54eb9d1.d: crates/bench/src/bin/macro_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_policies-1cbde26fb54eb9d1.rmeta: crates/bench/src/bin/macro_policies.rs Cargo.toml
+
+crates/bench/src/bin/macro_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_policies-5ccf4df12cb4a4dc.d: crates/bench/src/bin/macro_policies.rs
+
+/root/repo/target/debug/deps/macro_policies-5ccf4df12cb4a4dc: crates/bench/src/bin/macro_policies.rs
+
+crates/bench/src/bin/macro_policies.rs:

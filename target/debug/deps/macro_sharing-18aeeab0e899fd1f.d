@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_sharing-18aeeab0e899fd1f.d: crates/bench/src/bin/macro_sharing.rs
+
+/root/repo/target/debug/deps/macro_sharing-18aeeab0e899fd1f: crates/bench/src/bin/macro_sharing.rs
+
+crates/bench/src/bin/macro_sharing.rs:

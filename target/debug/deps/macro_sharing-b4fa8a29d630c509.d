@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_sharing-b4fa8a29d630c509.d: crates/bench/src/bin/macro_sharing.rs
+
+/root/repo/target/debug/deps/macro_sharing-b4fa8a29d630c509: crates/bench/src/bin/macro_sharing.rs
+
+crates/bench/src/bin/macro_sharing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_sharing-bce847e8539b3be2.d: crates/bench/src/bin/macro_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_sharing-bce847e8539b3be2.rmeta: crates/bench/src/bin/macro_sharing.rs Cargo.toml
+
+crates/bench/src/bin/macro_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

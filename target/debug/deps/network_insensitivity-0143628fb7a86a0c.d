@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_insensitivity-0143628fb7a86a0c.d: crates/bench/src/bin/network_insensitivity.rs
+
+/root/repo/target/debug/deps/network_insensitivity-0143628fb7a86a0c: crates/bench/src/bin/network_insensitivity.rs
+
+crates/bench/src/bin/network_insensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_insensitivity-4ce60825c434c970.d: crates/bench/src/bin/network_insensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_insensitivity-4ce60825c434c970.rmeta: crates/bench/src/bin/network_insensitivity.rs Cargo.toml
+
+crates/bench/src/bin/network_insensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

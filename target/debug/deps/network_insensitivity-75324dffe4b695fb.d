@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_insensitivity-75324dffe4b695fb.d: crates/bench/src/bin/network_insensitivity.rs
+
+/root/repo/target/debug/deps/network_insensitivity-75324dffe4b695fb: crates/bench/src/bin/network_insensitivity.rs
+
+crates/bench/src/bin/network_insensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_insensitivity-ae1b66b72ee2896c.d: crates/bench/src/bin/network_insensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_insensitivity-ae1b66b72ee2896c.rmeta: crates/bench/src/bin/network_insensitivity.rs Cargo.toml
+
+crates/bench/src/bin/network_insensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-faffa28493a56f18.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-faffa28493a56f18: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/phish-53ba4f76e026b2f2.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/phish-53ba4f76e026b2f2: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

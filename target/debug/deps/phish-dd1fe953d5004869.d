@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phish-dd1fe953d5004869.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/libphish-dd1fe953d5004869.rlib: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/libphish-dd1fe953d5004869.rmeta: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/phish_apps-1ccae1502fc5fb0e.d: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/debug/deps/libphish_apps-1ccae1502fc5fb0e.rlib: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/debug/deps/libphish_apps-1ccae1502fc5fb0e.rmeta: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/fib.rs:
+crates/apps/src/nqueens.rs:
+crates/apps/src/pfold.rs:
+crates/apps/src/pfold3d.rs:
+crates/apps/src/ray/mod.rs:
+crates/apps/src/ray/geometry.rs:
+crates/apps/src/ray/render.rs:
+crates/apps/src/ray/scene.rs:
+crates/apps/src/ray/vec3.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/phish_apps-3839a2e0dac7f979.d: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/debug/deps/phish_apps-3839a2e0dac7f979: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/fib.rs:
+crates/apps/src/nqueens.rs:
+crates/apps/src/pfold.rs:
+crates/apps/src/pfold3d.rs:
+crates/apps/src/ray/mod.rs:
+crates/apps/src/ray/geometry.rs:
+crates/apps/src/ray/render.rs:
+crates/apps/src/ray/scene.rs:
+crates/apps/src/ray/vec3.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/phish_apps-7139d94cf1e2d1d2.d: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_apps-7139d94cf1e2d1d2.rmeta: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/fib.rs:
+crates/apps/src/nqueens.rs:
+crates/apps/src/pfold.rs:
+crates/apps/src/pfold3d.rs:
+crates/apps/src/ray/mod.rs:
+crates/apps/src/ray/geometry.rs:
+crates/apps/src/ray/render.rs:
+crates/apps/src/ray/scene.rs:
+crates/apps/src/ray/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phish_bench-0d4725df52845eae.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_bench-0d4725df52845eae.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

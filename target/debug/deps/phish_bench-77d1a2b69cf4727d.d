@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phish_bench-77d1a2b69cf4727d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/phish_bench-77d1a2b69cf4727d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/phish_bench-aa7d03a444f005b0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphish_bench-aa7d03a444f005b0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphish_bench-aa7d03a444f005b0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/phish_core-61df7449df6d0178.d: crates/core/src/lib.rs crates/core/src/cell.rs crates/core/src/codec.rs crates/core/src/config.rs crates/core/src/deque.rs crates/core/src/engine.rs crates/core/src/kernel.rs crates/core/src/mapreduce.rs crates/core/src/slab.rs crates/core/src/spec.rs crates/core/src/spec_engine.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/trace.rs crates/core/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_core-61df7449df6d0178.rmeta: crates/core/src/lib.rs crates/core/src/cell.rs crates/core/src/codec.rs crates/core/src/config.rs crates/core/src/deque.rs crates/core/src/engine.rs crates/core/src/kernel.rs crates/core/src/mapreduce.rs crates/core/src/slab.rs crates/core/src/spec.rs crates/core/src/spec_engine.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/trace.rs crates/core/src/worker.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cell.rs:
+crates/core/src/codec.rs:
+crates/core/src/config.rs:
+crates/core/src/deque.rs:
+crates/core/src/engine.rs:
+crates/core/src/kernel.rs:
+crates/core/src/mapreduce.rs:
+crates/core/src/slab.rs:
+crates/core/src/spec.rs:
+crates/core/src/spec_engine.rs:
+crates/core/src/stats.rs:
+crates/core/src/task.rs:
+crates/core/src/trace.rs:
+crates/core/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phish_ft-2aeb5849c313f1ad.d: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/debug/deps/phish_ft-2aeb5849c313f1ad: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/engine.rs:
+crates/ft/src/ledger.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phish_ft-74aa30b631577149.d: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/debug/deps/libphish_ft-74aa30b631577149.rlib: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/debug/deps/libphish_ft-74aa30b631577149.rmeta: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/engine.rs:
+crates/ft/src/ledger.rs:

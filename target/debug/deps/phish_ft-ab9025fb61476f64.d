@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phish_ft-ab9025fb61476f64.d: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_ft-ab9025fb61476f64.rmeta: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs Cargo.toml
+
+crates/ft/src/lib.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/engine.rs:
+crates/ft/src/ledger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/phish_macro-10a8f88a3904d12a.d: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/debug/deps/libphish_macro-10a8f88a3904d12a.rlib: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/debug/deps/libphish_macro-10a8f88a3904d12a.rmeta: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+crates/macro/src/lib.rs:
+crates/macro/src/clearinghouse.rs:
+crates/macro/src/clearinghouse_service.rs:
+crates/macro/src/deployment.rs:
+crates/macro/src/idleness.rs:
+crates/macro/src/jobmanager.rs:
+crates/macro/src/jobq.rs:
+crates/macro/src/jobq_service.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phish_macro-18c6df0b19dad1df.d: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/debug/deps/phish_macro-18c6df0b19dad1df: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+crates/macro/src/lib.rs:
+crates/macro/src/clearinghouse.rs:
+crates/macro/src/clearinghouse_service.rs:
+crates/macro/src/deployment.rs:
+crates/macro/src/idleness.rs:
+crates/macro/src/jobmanager.rs:
+crates/macro/src/jobq.rs:
+crates/macro/src/jobq_service.rs:

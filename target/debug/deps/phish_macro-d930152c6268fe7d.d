@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/phish_macro-d930152c6268fe7d.d: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_macro-d930152c6268fe7d.rmeta: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs Cargo.toml
+
+crates/macro/src/lib.rs:
+crates/macro/src/clearinghouse.rs:
+crates/macro/src/clearinghouse_service.rs:
+crates/macro/src/deployment.rs:
+crates/macro/src/idleness.rs:
+crates/macro/src/jobmanager.rs:
+crates/macro/src/jobq.rs:
+crates/macro/src/jobq_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

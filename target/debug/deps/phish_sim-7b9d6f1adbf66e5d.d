@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/phish_sim-7b9d6f1adbf66e5d.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_sim-7b9d6f1adbf66e5d.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/microsim.rs:
+crates/sim/src/netmodel.rs:
+crates/sim/src/sharing.rs:
+crates/sim/src/workstation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phish_sim-e3511ba89aa9d847.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+/root/repo/target/debug/deps/libphish_sim-e3511ba89aa9d847.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+/root/repo/target/debug/deps/libphish_sim-e3511ba89aa9d847.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/microsim.rs:
+crates/sim/src/netmodel.rs:
+crates/sim/src/sharing.rs:
+crates/sim/src/workstation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60d85a892a25d688.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60d85a892a25d688: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_services-7a1b2a0ea0ad6f4c.d: tests/rpc_services.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_services-7a1b2a0ea0ad6f4c.rmeta: tests/rpc_services.rs Cargo.toml
+
+tests/rpc_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

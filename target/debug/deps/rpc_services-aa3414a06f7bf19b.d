@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_services-aa3414a06f7bf19b.d: tests/rpc_services.rs
+
+/root/repo/target/debug/deps/rpc_services-aa3414a06f7bf19b: tests/rpc_services.rs
+
+tests/rpc_services.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_conjecture-4af25d133f977b0d.d: crates/bench/src/bin/scale_conjecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_conjecture-4af25d133f977b0d.rmeta: crates/bench/src/bin/scale_conjecture.rs Cargo.toml
+
+crates/bench/src/bin/scale_conjecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_conjecture-987e369a173086e0.d: crates/bench/src/bin/scale_conjecture.rs
+
+/root/repo/target/debug/deps/scale_conjecture-987e369a173086e0: crates/bench/src/bin/scale_conjecture.rs
+
+crates/bench/src/bin/scale_conjecture.rs:

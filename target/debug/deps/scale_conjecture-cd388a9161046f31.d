@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_conjecture-cd388a9161046f31.d: crates/bench/src/bin/scale_conjecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_conjecture-cd388a9161046f31.rmeta: crates/bench/src/bin/scale_conjecture.rs Cargo.toml
+
+crates/bench/src/bin/scale_conjecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_conjecture-f515f06a4efb6caa.d: crates/bench/src/bin/scale_conjecture.rs
+
+/root/repo/target/debug/deps/scale_conjecture-f515f06a4efb6caa: crates/bench/src/bin/scale_conjecture.rs
+
+crates/bench/src/bin/scale_conjecture.rs:

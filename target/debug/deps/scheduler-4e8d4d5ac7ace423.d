@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler-4e8d4d5ac7ace423.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/debug/deps/scheduler-4e8d4d5ac7ace423: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-a5971c673895092b.d: tests/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-a5971c673895092b.rmeta: tests/simulator.rs Cargo.toml
+
+tests/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

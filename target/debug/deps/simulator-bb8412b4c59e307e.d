@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-bb8412b4c59e307e.d: tests/simulator.rs
+
+/root/repo/target/debug/deps/simulator-bb8412b4c59e307e: tests/simulator.rs
+
+tests/simulator.rs:

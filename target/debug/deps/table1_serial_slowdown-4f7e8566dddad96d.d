@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_serial_slowdown-4f7e8566dddad96d.d: crates/bench/src/bin/table1_serial_slowdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_serial_slowdown-4f7e8566dddad96d.rmeta: crates/bench/src/bin/table1_serial_slowdown.rs Cargo.toml
+
+crates/bench/src/bin/table1_serial_slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

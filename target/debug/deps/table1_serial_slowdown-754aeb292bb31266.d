@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_serial_slowdown-754aeb292bb31266.d: crates/bench/src/bin/table1_serial_slowdown.rs
+
+/root/repo/target/debug/deps/table1_serial_slowdown-754aeb292bb31266: crates/bench/src/bin/table1_serial_slowdown.rs
+
+crates/bench/src/bin/table1_serial_slowdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_serial_slowdown-d26d5df49f7c70ae.d: crates/bench/src/bin/table1_serial_slowdown.rs
+
+/root/repo/target/debug/deps/table1_serial_slowdown-d26d5df49f7c70ae: crates/bench/src/bin/table1_serial_slowdown.rs
+
+crates/bench/src/bin/table1_serial_slowdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_serial_slowdown-e897a9d6fb74c60a.d: crates/bench/src/bin/table1_serial_slowdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_serial_slowdown-e897a9d6fb74c60a.rmeta: crates/bench/src/bin/table1_serial_slowdown.rs Cargo.toml
+
+crates/bench/src/bin/table1_serial_slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_pfold_stats-a28a2d56340eb992.d: crates/bench/src/bin/table2_pfold_stats.rs
+
+/root/repo/target/debug/deps/table2_pfold_stats-a28a2d56340eb992: crates/bench/src/bin/table2_pfold_stats.rs
+
+crates/bench/src/bin/table2_pfold_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_pfold_stats-a4083db8988b5326.d: crates/bench/src/bin/table2_pfold_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_pfold_stats-a4083db8988b5326.rmeta: crates/bench/src/bin/table2_pfold_stats.rs Cargo.toml
+
+crates/bench/src/bin/table2_pfold_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_pfold_stats-b576546d7c62762b.d: crates/bench/src/bin/table2_pfold_stats.rs
+
+/root/repo/target/debug/deps/table2_pfold_stats-b576546d7c62762b: crates/bench/src/bin/table2_pfold_stats.rs
+
+crates/bench/src/bin/table2_pfold_stats.rs:

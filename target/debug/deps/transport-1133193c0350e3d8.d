@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-1133193c0350e3d8.d: crates/bench/benches/transport.rs
+
+/root/repo/target/debug/deps/transport-1133193c0350e3d8: crates/bench/benches/transport.rs
+
+crates/bench/benches/transport.rs:

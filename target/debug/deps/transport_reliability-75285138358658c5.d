@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_reliability-75285138358658c5.d: tests/transport_reliability.rs
+
+/root/repo/target/debug/deps/transport_reliability-75285138358658c5: tests/transport_reliability.rs
+
+tests/transport_reliability.rs:

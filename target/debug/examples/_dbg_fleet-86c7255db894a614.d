@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dbg_fleet-86c7255db894a614.d: examples/_dbg_fleet.rs
+
+/root/repo/target/debug/examples/_dbg_fleet-86c7255db894a614: examples/_dbg_fleet.rs
+
+examples/_dbg_fleet.rs:

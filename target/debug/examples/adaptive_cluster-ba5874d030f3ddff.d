@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_cluster-ba5874d030f3ddff.d: examples/adaptive_cluster.rs
+
+/root/repo/target/debug/examples/adaptive_cluster-ba5874d030f3ddff: examples/adaptive_cluster.rs
+
+examples/adaptive_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-b13aadd5a82b42eb.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-b13aadd5a82b42eb: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

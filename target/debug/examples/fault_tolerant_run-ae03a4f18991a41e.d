@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerant_run-ae03a4f18991a41e.d: examples/fault_tolerant_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerant_run-ae03a4f18991a41e.rmeta: examples/fault_tolerant_run.rs Cargo.toml
+
+examples/fault_tolerant_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

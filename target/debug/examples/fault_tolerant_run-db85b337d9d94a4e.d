@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_run-db85b337d9d94a4e.d: examples/fault_tolerant_run.rs
+
+/root/repo/target/debug/examples/fault_tolerant_run-db85b337d9d94a4e: examples/fault_tolerant_run.rs
+
+examples/fault_tolerant_run.rs:

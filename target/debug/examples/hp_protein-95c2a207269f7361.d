@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hp_protein-95c2a207269f7361.d: examples/hp_protein.rs
+
+/root/repo/target/debug/examples/hp_protein-95c2a207269f7361: examples/hp_protein.rs
+
+examples/hp_protein.rs:

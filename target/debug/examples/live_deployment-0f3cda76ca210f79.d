@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_deployment-0f3cda76ca210f79.d: examples/live_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_deployment-0f3cda76ca210f79.rmeta: examples/live_deployment.rs Cargo.toml
+
+examples/live_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

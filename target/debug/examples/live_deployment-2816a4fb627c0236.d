@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_deployment-2816a4fb627c0236.d: examples/live_deployment.rs
+
+/root/repo/target/debug/examples/live_deployment-2816a4fb627c0236: examples/live_deployment.rs
+
+examples/live_deployment.rs:

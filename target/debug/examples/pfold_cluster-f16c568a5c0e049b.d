@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pfold_cluster-f16c568a5c0e049b.d: examples/pfold_cluster.rs
+
+/root/repo/target/debug/examples/pfold_cluster-f16c568a5c0e049b: examples/pfold_cluster.rs
+
+examples/pfold_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-162bbff945ec9238.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-162bbff945ec9238: examples/quickstart.rs
+
+examples/quickstart.rs:

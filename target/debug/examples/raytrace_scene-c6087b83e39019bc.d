@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/raytrace_scene-c6087b83e39019bc.d: examples/raytrace_scene.rs Cargo.toml
+
+/root/repo/target/debug/examples/libraytrace_scene-c6087b83e39019bc.rmeta: examples/raytrace_scene.rs Cargo.toml
+
+examples/raytrace_scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raytrace_scene-edd15ff2f0d7c503.d: examples/raytrace_scene.rs
+
+/root/repo/target/debug/examples/raytrace_scene-edd15ff2f0d7c503: examples/raytrace_scene.rs
+
+examples/raytrace_scene.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_dump-4cbc907861b5f806.d: examples/trace_dump.rs
+
+/root/repo/target/debug/examples/trace_dump-4cbc907861b5f806: examples/trace_dump.rs
+
+examples/trace_dump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_orders-8475903148cecd0a.d: crates/bench/src/bin/ablation_orders.rs
+
+/root/repo/target/release/deps/ablation_orders-8475903148cecd0a: crates/bench/src/bin/ablation_orders.rs
+
+crates/bench/src/bin/ablation_orders.rs:

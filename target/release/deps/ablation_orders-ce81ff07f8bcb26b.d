@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_orders-ce81ff07f8bcb26b.d: crates/bench/src/bin/ablation_orders.rs
+
+/root/repo/target/release/deps/ablation_orders-ce81ff07f8bcb26b: crates/bench/src/bin/ablation_orders.rs
+
+crates/bench/src/bin/ablation_orders.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apps_equivalence-836a19e6e2238805.d: tests/apps_equivalence.rs
+
+/root/repo/target/release/deps/apps_equivalence-836a19e6e2238805: tests/apps_equivalence.rs
+
+tests/apps_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-989156e6045fde73.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-989156e6045fde73: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-10466bc834fb5fe6.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-10466bc834fb5fe6: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

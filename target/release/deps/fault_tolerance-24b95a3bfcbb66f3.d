@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-24b95a3bfcbb66f3.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-24b95a3bfcbb66f3: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

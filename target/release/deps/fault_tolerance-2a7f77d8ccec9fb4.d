@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-2a7f77d8ccec9fb4.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-2a7f77d8ccec9fb4: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

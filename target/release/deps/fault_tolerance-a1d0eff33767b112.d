@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-a1d0eff33767b112.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-a1d0eff33767b112: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_pfold_time-8044c771fd6d714d.d: crates/bench/src/bin/fig4_pfold_time.rs
+
+/root/repo/target/release/deps/fig4_pfold_time-8044c771fd6d714d: crates/bench/src/bin/fig4_pfold_time.rs
+
+crates/bench/src/bin/fig4_pfold_time.rs:

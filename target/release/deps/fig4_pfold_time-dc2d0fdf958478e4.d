@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_pfold_time-dc2d0fdf958478e4.d: crates/bench/src/bin/fig4_pfold_time.rs
+
+/root/repo/target/release/deps/fig4_pfold_time-dc2d0fdf958478e4: crates/bench/src/bin/fig4_pfold_time.rs
+
+crates/bench/src/bin/fig4_pfold_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pfold_speedup-10f0cfed0b010c8b.d: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+/root/repo/target/release/deps/fig5_pfold_speedup-10f0cfed0b010c8b: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+crates/bench/src/bin/fig5_pfold_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pfold_speedup-7d2c99d2005445dc.d: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+/root/repo/target/release/deps/fig5_pfold_speedup-7d2c99d2005445dc: crates/bench/src/bin/fig5_pfold_speedup.rs
+
+crates/bench/src/bin/fig5_pfold_speedup.rs:

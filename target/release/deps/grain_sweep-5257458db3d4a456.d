@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grain_sweep-5257458db3d4a456.d: crates/bench/src/bin/grain_sweep.rs
+
+/root/repo/target/release/deps/grain_sweep-5257458db3d4a456: crates/bench/src/bin/grain_sweep.rs
+
+crates/bench/src/bin/grain_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grain_sweep-6763113ea25af11a.d: crates/bench/src/bin/grain_sweep.rs
+
+/root/repo/target/release/deps/grain_sweep-6763113ea25af11a: crates/bench/src/bin/grain_sweep.rs
+
+crates/bench/src/bin/grain_sweep.rs:

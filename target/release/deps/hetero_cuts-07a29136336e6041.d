@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetero_cuts-07a29136336e6041.d: crates/bench/src/bin/hetero_cuts.rs
+
+/root/repo/target/release/deps/hetero_cuts-07a29136336e6041: crates/bench/src/bin/hetero_cuts.rs
+
+crates/bench/src/bin/hetero_cuts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetero_cuts-61e7ee9a4854f308.d: crates/bench/src/bin/hetero_cuts.rs
+
+/root/repo/target/release/deps/hetero_cuts-61e7ee9a4854f308: crates/bench/src/bin/hetero_cuts.rs
+
+crates/bench/src/bin/hetero_cuts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/idleness_policies-1b783eabd9ec3e4e.d: crates/bench/src/bin/idleness_policies.rs
+
+/root/repo/target/release/deps/idleness_policies-1b783eabd9ec3e4e: crates/bench/src/bin/idleness_policies.rs
+
+crates/bench/src/bin/idleness_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/idleness_policies-ab59ce7410ffa136.d: crates/bench/src/bin/idleness_policies.rs
+
+/root/repo/target/release/deps/idleness_policies-ab59ce7410ffa136: crates/bench/src/bin/idleness_policies.rs
+
+crates/bench/src/bin/idleness_policies.rs:

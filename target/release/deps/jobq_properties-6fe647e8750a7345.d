@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jobq_properties-6fe647e8750a7345.d: crates/macro/tests/jobq_properties.rs
+
+/root/repo/target/release/deps/jobq_properties-6fe647e8750a7345: crates/macro/tests/jobq_properties.rs
+
+crates/macro/tests/jobq_properties.rs:

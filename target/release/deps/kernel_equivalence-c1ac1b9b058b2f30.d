@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_equivalence-c1ac1b9b058b2f30.d: tests/kernel_equivalence.rs
+
+/root/repo/target/release/deps/kernel_equivalence-c1ac1b9b058b2f30: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

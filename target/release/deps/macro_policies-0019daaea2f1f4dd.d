@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/macro_policies-0019daaea2f1f4dd.d: crates/bench/src/bin/macro_policies.rs
+
+/root/repo/target/release/deps/macro_policies-0019daaea2f1f4dd: crates/bench/src/bin/macro_policies.rs
+
+crates/bench/src/bin/macro_policies.rs:

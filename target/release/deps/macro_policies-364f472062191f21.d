@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/macro_policies-364f472062191f21.d: crates/bench/src/bin/macro_policies.rs
+
+/root/repo/target/release/deps/macro_policies-364f472062191f21: crates/bench/src/bin/macro_policies.rs
+
+crates/bench/src/bin/macro_policies.rs:

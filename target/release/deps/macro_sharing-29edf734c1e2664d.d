@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/macro_sharing-29edf734c1e2664d.d: crates/bench/src/bin/macro_sharing.rs
+
+/root/repo/target/release/deps/macro_sharing-29edf734c1e2664d: crates/bench/src/bin/macro_sharing.rs
+
+crates/bench/src/bin/macro_sharing.rs:

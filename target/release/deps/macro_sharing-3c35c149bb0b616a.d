@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/macro_sharing-3c35c149bb0b616a.d: crates/bench/src/bin/macro_sharing.rs
+
+/root/repo/target/release/deps/macro_sharing-3c35c149bb0b616a: crates/bench/src/bin/macro_sharing.rs
+
+crates/bench/src/bin/macro_sharing.rs:

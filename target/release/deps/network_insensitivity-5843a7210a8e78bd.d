@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/network_insensitivity-5843a7210a8e78bd.d: crates/bench/src/bin/network_insensitivity.rs
+
+/root/repo/target/release/deps/network_insensitivity-5843a7210a8e78bd: crates/bench/src/bin/network_insensitivity.rs
+
+crates/bench/src/bin/network_insensitivity.rs:

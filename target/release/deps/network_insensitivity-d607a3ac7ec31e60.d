@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/network_insensitivity-d607a3ac7ec31e60.d: crates/bench/src/bin/network_insensitivity.rs
+
+/root/repo/target/release/deps/network_insensitivity-d607a3ac7ec31e60: crates/bench/src/bin/network_insensitivity.rs
+
+crates/bench/src/bin/network_insensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-d8be943a31b3d873.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-d8be943a31b3d873: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

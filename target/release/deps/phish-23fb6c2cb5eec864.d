@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/phish-23fb6c2cb5eec864.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/release/deps/phish-23fb6c2cb5eec864: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

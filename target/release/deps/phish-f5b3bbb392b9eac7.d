@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/phish-f5b3bbb392b9eac7.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/release/deps/libphish-f5b3bbb392b9eac7.rlib: src/lib.rs src/livejob.rs
+
+/root/repo/target/release/deps/libphish-f5b3bbb392b9eac7.rmeta: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/phish_apps-8aa3c67cab4d1b08.d: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/release/deps/phish_apps-8aa3c67cab4d1b08: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/fib.rs:
+crates/apps/src/nqueens.rs:
+crates/apps/src/pfold.rs:
+crates/apps/src/pfold3d.rs:
+crates/apps/src/ray/mod.rs:
+crates/apps/src/ray/geometry.rs:
+crates/apps/src/ray/render.rs:
+crates/apps/src/ray/scene.rs:
+crates/apps/src/ray/vec3.rs:

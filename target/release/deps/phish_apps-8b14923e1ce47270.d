@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/phish_apps-8b14923e1ce47270.d: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/release/deps/libphish_apps-8b14923e1ce47270.rlib: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+/root/repo/target/release/deps/libphish_apps-8b14923e1ce47270.rmeta: crates/apps/src/lib.rs crates/apps/src/fib.rs crates/apps/src/nqueens.rs crates/apps/src/pfold.rs crates/apps/src/pfold3d.rs crates/apps/src/ray/mod.rs crates/apps/src/ray/geometry.rs crates/apps/src/ray/render.rs crates/apps/src/ray/scene.rs crates/apps/src/ray/vec3.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/fib.rs:
+crates/apps/src/nqueens.rs:
+crates/apps/src/pfold.rs:
+crates/apps/src/pfold3d.rs:
+crates/apps/src/ray/mod.rs:
+crates/apps/src/ray/geometry.rs:
+crates/apps/src/ray/render.rs:
+crates/apps/src/ray/scene.rs:
+crates/apps/src/ray/vec3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phish_bench-57a9044e76a3f68c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/phish_bench-57a9044e76a3f68c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

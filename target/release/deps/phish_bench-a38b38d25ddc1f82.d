@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/phish_bench-a38b38d25ddc1f82.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libphish_bench-a38b38d25ddc1f82.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libphish_bench-a38b38d25ddc1f82.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/phish_core-c4857b091262cc48.d: crates/core/src/lib.rs crates/core/src/cell.rs crates/core/src/codec.rs crates/core/src/config.rs crates/core/src/deque.rs crates/core/src/engine.rs crates/core/src/kernel.rs crates/core/src/mapreduce.rs crates/core/src/slab.rs crates/core/src/spec.rs crates/core/src/spec_engine.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/trace.rs crates/core/src/worker.rs
+
+/root/repo/target/release/deps/phish_core-c4857b091262cc48: crates/core/src/lib.rs crates/core/src/cell.rs crates/core/src/codec.rs crates/core/src/config.rs crates/core/src/deque.rs crates/core/src/engine.rs crates/core/src/kernel.rs crates/core/src/mapreduce.rs crates/core/src/slab.rs crates/core/src/spec.rs crates/core/src/spec_engine.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/trace.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cell.rs:
+crates/core/src/codec.rs:
+crates/core/src/config.rs:
+crates/core/src/deque.rs:
+crates/core/src/engine.rs:
+crates/core/src/kernel.rs:
+crates/core/src/mapreduce.rs:
+crates/core/src/slab.rs:
+crates/core/src/spec.rs:
+crates/core/src/spec_engine.rs:
+crates/core/src/stats.rs:
+crates/core/src/task.rs:
+crates/core/src/trace.rs:
+crates/core/src/worker.rs:

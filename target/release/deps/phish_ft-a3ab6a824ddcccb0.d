@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/phish_ft-a3ab6a824ddcccb0.d: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/release/deps/libphish_ft-a3ab6a824ddcccb0.rlib: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/release/deps/libphish_ft-a3ab6a824ddcccb0.rmeta: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/engine.rs:
+crates/ft/src/ledger.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/phish_ft-be9108416b096843.d: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+/root/repo/target/release/deps/phish_ft-be9108416b096843: crates/ft/src/lib.rs crates/ft/src/checkpoint.rs crates/ft/src/engine.rs crates/ft/src/ledger.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/engine.rs:
+crates/ft/src/ledger.rs:

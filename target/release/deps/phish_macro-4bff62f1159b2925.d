@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/phish_macro-4bff62f1159b2925.d: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/release/deps/libphish_macro-4bff62f1159b2925.rlib: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/release/deps/libphish_macro-4bff62f1159b2925.rmeta: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+crates/macro/src/lib.rs:
+crates/macro/src/clearinghouse.rs:
+crates/macro/src/clearinghouse_service.rs:
+crates/macro/src/deployment.rs:
+crates/macro/src/idleness.rs:
+crates/macro/src/jobmanager.rs:
+crates/macro/src/jobq.rs:
+crates/macro/src/jobq_service.rs:

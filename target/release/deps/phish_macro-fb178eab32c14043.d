@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/phish_macro-fb178eab32c14043.d: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+/root/repo/target/release/deps/phish_macro-fb178eab32c14043: crates/macro/src/lib.rs crates/macro/src/clearinghouse.rs crates/macro/src/clearinghouse_service.rs crates/macro/src/deployment.rs crates/macro/src/idleness.rs crates/macro/src/jobmanager.rs crates/macro/src/jobq.rs crates/macro/src/jobq_service.rs
+
+crates/macro/src/lib.rs:
+crates/macro/src/clearinghouse.rs:
+crates/macro/src/clearinghouse_service.rs:
+crates/macro/src/deployment.rs:
+crates/macro/src/idleness.rs:
+crates/macro/src/jobmanager.rs:
+crates/macro/src/jobq.rs:
+crates/macro/src/jobq_service.rs:

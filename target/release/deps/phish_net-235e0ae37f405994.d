@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/phish_net-235e0ae37f405994.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/delayed.rs crates/net/src/lossy.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/reliable.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+
+/root/repo/target/release/deps/phish_net-235e0ae37f405994: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/delayed.rs crates/net/src/lossy.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/reliable.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/delayed.rs:
+crates/net/src/lossy.rs:
+crates/net/src/message.rs:
+crates/net/src/metrics.rs:
+crates/net/src/reliable.rs:
+crates/net/src/rpc.rs:
+crates/net/src/splitphase.rs:
+crates/net/src/time.rs:

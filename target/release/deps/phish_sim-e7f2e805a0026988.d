@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/phish_sim-e7f2e805a0026988.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+/root/repo/target/release/deps/phish_sim-e7f2e805a0026988: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/microsim.rs:
+crates/sim/src/netmodel.rs:
+crates/sim/src/sharing.rs:
+crates/sim/src/workstation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/phish_sim-f92a829f08eec877.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+/root/repo/target/release/deps/libphish_sim-f92a829f08eec877.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+/root/repo/target/release/deps/libphish_sim-f92a829f08eec877.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/fleet.rs crates/sim/src/microsim.rs crates/sim/src/netmodel.rs crates/sim/src/sharing.rs crates/sim/src/workstation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/microsim.rs:
+crates/sim/src/netmodel.rs:
+crates/sim/src/sharing.rs:
+crates/sim/src/workstation.rs:

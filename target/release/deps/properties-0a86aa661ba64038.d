@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0a86aa661ba64038.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-0a86aa661ba64038: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

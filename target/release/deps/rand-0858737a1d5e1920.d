@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-0858737a1d5e1920.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-0858737a1d5e1920: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

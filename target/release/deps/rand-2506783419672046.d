@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2506783419672046.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2506783419672046.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2506783419672046.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpc_services-836357e46e59c6f1.d: tests/rpc_services.rs
+
+/root/repo/target/release/deps/rpc_services-836357e46e59c6f1: tests/rpc_services.rs
+
+tests/rpc_services.rs:

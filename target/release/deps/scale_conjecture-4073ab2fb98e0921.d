@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_conjecture-4073ab2fb98e0921.d: crates/bench/src/bin/scale_conjecture.rs
+
+/root/repo/target/release/deps/scale_conjecture-4073ab2fb98e0921: crates/bench/src/bin/scale_conjecture.rs
+
+crates/bench/src/bin/scale_conjecture.rs:

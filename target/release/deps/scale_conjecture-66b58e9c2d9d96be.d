@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_conjecture-66b58e9c2d9d96be.d: crates/bench/src/bin/scale_conjecture.rs
+
+/root/repo/target/release/deps/scale_conjecture-66b58e9c2d9d96be: crates/bench/src/bin/scale_conjecture.rs
+
+crates/bench/src/bin/scale_conjecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-c019215b79b189d2.d: tests/simulator.rs
+
+/root/repo/target/release/deps/simulator-c019215b79b189d2: tests/simulator.rs
+
+tests/simulator.rs:

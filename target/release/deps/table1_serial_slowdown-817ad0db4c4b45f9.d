@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_serial_slowdown-817ad0db4c4b45f9.d: crates/bench/src/bin/table1_serial_slowdown.rs
+
+/root/repo/target/release/deps/table1_serial_slowdown-817ad0db4c4b45f9: crates/bench/src/bin/table1_serial_slowdown.rs
+
+crates/bench/src/bin/table1_serial_slowdown.rs:

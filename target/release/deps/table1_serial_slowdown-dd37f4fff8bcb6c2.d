@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_serial_slowdown-dd37f4fff8bcb6c2.d: crates/bench/src/bin/table1_serial_slowdown.rs
+
+/root/repo/target/release/deps/table1_serial_slowdown-dd37f4fff8bcb6c2: crates/bench/src/bin/table1_serial_slowdown.rs
+
+crates/bench/src/bin/table1_serial_slowdown.rs:

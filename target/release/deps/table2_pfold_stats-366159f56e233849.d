@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_pfold_stats-366159f56e233849.d: crates/bench/src/bin/table2_pfold_stats.rs
+
+/root/repo/target/release/deps/table2_pfold_stats-366159f56e233849: crates/bench/src/bin/table2_pfold_stats.rs
+
+crates/bench/src/bin/table2_pfold_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_pfold_stats-e026cca05ee2a1d9.d: crates/bench/src/bin/table2_pfold_stats.rs
+
+/root/repo/target/release/deps/table2_pfold_stats-e026cca05ee2a1d9: crates/bench/src/bin/table2_pfold_stats.rs
+
+crates/bench/src/bin/table2_pfold_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_reliability-045cb953db717a96.d: tests/transport_reliability.rs
+
+/root/repo/target/release/deps/transport_reliability-045cb953db717a96: tests/transport_reliability.rs
+
+tests/transport_reliability.rs:

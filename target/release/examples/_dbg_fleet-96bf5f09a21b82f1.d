@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_dbg_fleet-96bf5f09a21b82f1.d: examples/_dbg_fleet.rs
+
+/root/repo/target/release/examples/_dbg_fleet-96bf5f09a21b82f1: examples/_dbg_fleet.rs
+
+examples/_dbg_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_cluster-5e3ac6c2ac6d20a1.d: examples/adaptive_cluster.rs
+
+/root/repo/target/release/examples/adaptive_cluster-5e3ac6c2ac6d20a1: examples/adaptive_cluster.rs
+
+examples/adaptive_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_restart-b169a341717674b2.d: examples/checkpoint_restart.rs
+
+/root/repo/target/release/examples/checkpoint_restart-b169a341717674b2: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

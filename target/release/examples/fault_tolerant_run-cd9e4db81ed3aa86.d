@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerant_run-cd9e4db81ed3aa86.d: examples/fault_tolerant_run.rs
+
+/root/repo/target/release/examples/fault_tolerant_run-cd9e4db81ed3aa86: examples/fault_tolerant_run.rs
+
+examples/fault_tolerant_run.rs:

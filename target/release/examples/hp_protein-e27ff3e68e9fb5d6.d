@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hp_protein-e27ff3e68e9fb5d6.d: examples/hp_protein.rs
+
+/root/repo/target/release/examples/hp_protein-e27ff3e68e9fb5d6: examples/hp_protein.rs
+
+examples/hp_protein.rs:

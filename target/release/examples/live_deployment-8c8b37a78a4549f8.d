@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_deployment-8c8b37a78a4549f8.d: examples/live_deployment.rs
+
+/root/repo/target/release/examples/live_deployment-8c8b37a78a4549f8: examples/live_deployment.rs
+
+examples/live_deployment.rs:

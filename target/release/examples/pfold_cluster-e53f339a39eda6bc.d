@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pfold_cluster-e53f339a39eda6bc.d: examples/pfold_cluster.rs
+
+/root/repo/target/release/examples/pfold_cluster-e53f339a39eda6bc: examples/pfold_cluster.rs
+
+examples/pfold_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4b5060ce66d069e5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4b5060ce66d069e5: examples/quickstart.rs
+
+examples/quickstart.rs:

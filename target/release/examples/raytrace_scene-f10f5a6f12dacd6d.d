@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/raytrace_scene-f10f5a6f12dacd6d.d: examples/raytrace_scene.rs
+
+/root/repo/target/release/examples/raytrace_scene-f10f5a6f12dacd6d: examples/raytrace_scene.rs
+
+examples/raytrace_scene.rs:

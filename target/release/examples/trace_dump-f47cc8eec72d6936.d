@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_dump-f47cc8eec72d6936.d: examples/trace_dump.rs
+
+/root/repo/target/release/examples/trace_dump-f47cc8eec72d6936: examples/trace_dump.rs
+
+examples/trace_dump.rs:

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use phish::apps::pfold::{pfold_serial, pfold_task, PfoldSpec};
-use phish::apps::{
-    fib_serial, fib_task, nqueens_serial, nqueens_task, FibSpec, NQueensSpec,
-};
+use phish::apps::{fib_serial, fib_task, nqueens_serial, nqueens_task, FibSpec, NQueensSpec};
 use phish::scheduler::{
     run_serial, Cont, Engine, ExecOrder, SchedulerConfig, SpecEngine, StealEnd, StealProtocol,
     VictimPolicy,

@@ -46,10 +46,7 @@ fn jobq_to_engine_pipeline() {
             let (v, _) = Engine::run(SchedulerConfig::paper(2), fib_task(22, Cont::ROOT));
             v
         } else {
-            let (v, _) = Engine::run(
-                SchedulerConfig::paper(2),
-                nqueens_task(9, 3, Cont::ROOT),
-            );
+            let (v, _) = Engine::run(SchedulerConfig::paper(2), nqueens_task(9, 3, Cont::ROOT));
             v
         };
         clearinghouse.write_line(NodeId(ws), format!("result {value}"));

@@ -26,8 +26,8 @@ proptest! {
         prop_assert_eq!(hist, expect);
         prop_assert!(report.crashes <= 2);
         // A worker that never reached its kill count survives.
-        prop_assert!(report.per_worker_tasks[1] <= kill1);
-        prop_assert!(report.per_worker_tasks[2] <= kill2);
+        prop_assert!(report.stats.per_worker[1].tasks_executed <= kill1);
+        prop_assert!(report.stats.per_worker[2].tasks_executed <= kill2);
     }
 
     #[test]
@@ -58,9 +58,9 @@ fn crash_accounting_is_consistent() {
     if r.crashes == 1 {
         // If the dead worker had stolen anything, those subtrees must have
         // been re-enqueued by their victims (or the root re-assigned).
-        let dead_worked = r.per_worker_tasks[1] > 0;
+        let dead_worked = r.stats.per_worker[1].tasks_executed > 0;
         assert!(
-            !dead_worked || r.respawned_subtrees > 0 || r.per_worker_tasks[1] < 100,
+            !dead_worked || r.respawned_subtrees > 0 || r.stats.per_worker[1].tasks_executed < 100,
             "dead worker did work that nobody re-enqueued: {r:?}"
         );
     }
@@ -80,10 +80,13 @@ fn survivors_finish_even_when_most_workers_die() {
     assert_eq!(hist, expect);
     for (w, cap) in [(1, 10), (2, 30), (3, 60), (4, 90)] {
         assert!(
-            r.per_worker_tasks[w] <= cap,
+            r.stats.per_worker[w].tasks_executed <= cap,
             "worker {w} outlived its kill point: {} > {cap}",
-            r.per_worker_tasks[w]
+            r.stats.per_worker[w].tasks_executed
         );
     }
-    assert!(r.crashes >= 1, "at least the earliest kill must be detected");
+    assert!(
+        r.crashes >= 1,
+        "at least the earliest kill must be detected"
+    );
 }

@@ -1,0 +1,114 @@
+//! Cross-engine equivalence: all four adapters of the shared
+//! work-stealing kernel — the CPS [`Engine`], the [`SpecEngine`], the
+//! crash-recovering [`RecoveringEngine`] (run crash-free), and the
+//! virtual-time microsim — compute the same answer as the serial
+//! reference for every application, over randomized seeds and worker
+//! counts. The three spec-based engines additionally execute exactly
+//! `count_tasks(root)` tasks: crash-free, every spec node is stepped
+//! exactly once no matter which substrate carries it.
+
+use proptest::prelude::*;
+
+use phish::apps::pfold::{pfold_serial, pfold_task, PfoldSpec};
+use phish::apps::{fib_serial, fib_task, nqueens_serial, nqueens_task, FibSpec, NQueensSpec};
+use phish::ft::{CrashPlan, FtConfig, RecoveringEngine};
+use phish::scheduler::{count_tasks, Cont, Engine, SchedulerConfig, SpecEngine, SpecTask};
+use phish::sim::{run_microsim, MicroSimConfig};
+
+/// Run one spec root through the three spec-based engines plus the
+/// serial reference, asserting identical outputs and identical task
+/// counts everywhere.
+fn assert_spec_engines_agree<S>(root: S, expect: &S::Output, workers: usize, seed: u64)
+where
+    S: SpecTask + Clone + 'static,
+    S::Output: PartialEq + std::fmt::Debug,
+{
+    let tasks = count_tasks(root.clone());
+
+    let cfg = SchedulerConfig::paper(workers).with_seed(seed);
+    let (spec_out, spec_stats) = SpecEngine::run(cfg, root.clone());
+    assert_eq!(&spec_out, expect, "SpecEngine output");
+    assert_eq!(spec_stats.tasks_executed, tasks, "SpecEngine task count");
+
+    let ft_cfg = FtConfig {
+        seed,
+        ..FtConfig::fast(workers)
+    };
+    let (ft_out, ft_report) = RecoveringEngine::run(&ft_cfg, root.clone(), &CrashPlan::none());
+    assert_eq!(&ft_out, expect, "RecoveringEngine output");
+    assert_eq!(
+        ft_report.stats.tasks_executed, tasks,
+        "RecoveringEngine task count"
+    );
+    assert_eq!(ft_report.crashes, 0);
+
+    let mut micro_cfg = MicroSimConfig::ethernet(workers);
+    micro_cfg.seed = seed;
+    let (micro_out, micro_report) = run_microsim(&micro_cfg, root);
+    assert_eq!(&micro_out, expect, "microsim output");
+    assert_eq!(
+        micro_report.stats.tasks_executed, tasks,
+        "microsim task count"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fib_engines_agree(n in 5u64..15, workers in 1usize..=4, seed in any::<u64>()) {
+        let expect = fib_serial(n);
+        let cfg = SchedulerConfig::paper(workers).with_seed(seed);
+        let (cps, _) = Engine::run(cfg, fib_task(n, Cont::ROOT));
+        prop_assert_eq!(cps, expect);
+        assert_spec_engines_agree(FibSpec { n }, &expect, workers, seed);
+    }
+
+    #[test]
+    fn nqueens_engines_agree(
+        n in 4u32..8,
+        depth in 0u32..3,
+        workers in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let expect = nqueens_serial(n);
+        let cfg = SchedulerConfig::paper(workers).with_seed(seed);
+        let (cps, _) = Engine::run(cfg, nqueens_task(n, depth, Cont::ROOT));
+        prop_assert_eq!(cps, expect);
+        assert_spec_engines_agree(NQueensSpec::new(n, depth), &expect, workers, seed);
+    }
+
+    #[test]
+    fn pfold_engines_agree(
+        n in 2usize..8,
+        depth in 1usize..5,
+        workers in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let expect = pfold_serial(n);
+        let cfg = SchedulerConfig::paper(workers).with_seed(seed);
+        let (cps, _) = Engine::run(cfg, pfold_task(n, depth, Cont::ROOT));
+        prop_assert_eq!(&cps, &expect);
+        assert_spec_engines_agree(PfoldSpec::new(n, depth), &expect, workers, seed);
+    }
+}
+
+/// Fixed-seed determinism: the counters the paper's tables are built
+/// from must not drift run-to-run for a fixed seed, on any engine.
+#[test]
+fn fixed_seed_runs_are_reproducible() {
+    let seed = 0xD15EA5E;
+    let spec = || PfoldSpec::new(7, 3);
+
+    let cfg = SchedulerConfig::paper(3).with_seed(seed);
+    let (_, a) = SpecEngine::run(cfg, spec());
+    let (_, b) = SpecEngine::run(cfg, spec());
+    assert_eq!(a.tasks_executed, b.tasks_executed);
+    assert_eq!(a.tasks_spawned, b.tasks_spawned);
+
+    let mut micro_cfg = MicroSimConfig::ethernet(3);
+    micro_cfg.seed = seed;
+    let (_, ma) = run_microsim(&micro_cfg, spec());
+    let (_, mb) = run_microsim(&micro_cfg, spec());
+    assert_eq!(ma, mb, "microsim report must be bit-identical per seed");
+}

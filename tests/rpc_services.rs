@@ -60,7 +60,10 @@ fn full_rpc_pipeline_with_real_work() {
     assert!(pool.is_done());
     let hist = pool.take_result();
     assert_eq!(hist, pfold_serial(11), "RPC pipeline must be exact");
-    assert_eq!(count_walks(&hist), count_walks(&run_serial(PfoldSpec::new(11, 6))));
+    assert_eq!(
+        count_walks(&hist),
+        count_walks(&run_serial(PfoldSpec::new(11, 6)))
+    );
 
     let final_q = jobq.shutdown();
     assert!(final_q.is_empty(), "completed job must leave the pool");

@@ -24,7 +24,7 @@ fn microsim_pfold_exact_at_every_p() {
             count_walks(&expect),
             "walk count mismatch at P = {p}"
         );
-        assert!(report.tasks_executed > 0);
+        assert!(report.stats.tasks_executed > 0);
     }
 }
 
@@ -77,20 +77,21 @@ fn microsim_steals_scale_with_p_not_with_tasks() {
     let n = 13;
     let r4 = run_microsim(&MicroSimConfig::ethernet(4), PfoldSpec::new(n, 7)).1;
     let r8 = run_microsim(&MicroSimConfig::ethernet(8), PfoldSpec::new(n, 7)).1;
-    assert_eq!(r4.tasks_executed, r8.tasks_executed, "same tree");
-    assert!(r4.steals < r4.tasks_executed / 50);
-    assert!(r8.steals < r8.tasks_executed / 25);
+    assert_eq!(
+        r4.stats.tasks_executed, r8.stats.tasks_executed,
+        "same tree"
+    );
+    assert!(r4.stats.tasks_stolen < r4.stats.tasks_executed / 50);
+    assert!(r8.stats.tasks_stolen < r8.stats.tasks_executed / 25);
     assert!(
-        r8.steals > r4.steals / 4,
+        r8.stats.tasks_stolen > r4.stats.tasks_stolen / 4,
         "more participants should steal at least comparably often"
     );
 }
 
 #[test]
 fn cut_aware_stealing_reduces_inter_cluster_traffic_without_losing_speed() {
-    let topo = || {
-        Topology::clustered(2, 8, LinkModel::atm_1995(), LinkModel::ethernet_1994())
-    };
+    let topo = || Topology::clustered(2, 8, LinkModel::atm_1995(), LinkModel::ethernet_1994());
     let base = MicroSimConfig {
         topology: topo(),
         victim: MicroVictimPolicy::Uniform,
@@ -135,7 +136,11 @@ fn fleet_thousand_workstations_scalability() {
         idleness: phish::sim::IdlenessChoice::NobodyLoggedIn,
     };
     let r = run_fleet(&cfg);
-    assert!(r.completions.iter().all(|c| c.is_some()), "{:?}", r.completions);
+    assert!(
+        r.completions.iter().all(|c| c.is_some()),
+        "{:?}",
+        r.completions
+    );
     // 1000 workstations, yet the JobQ sees only a trickle.
     assert!(
         r.jobq_msgs_per_sec() < 40.0,
@@ -148,7 +153,12 @@ fn fleet_thousand_workstations_scalability() {
 #[test]
 fn sharing_strategies_rank_as_the_paper_argues() {
     let jobs = paper_scenario();
-    let gang = gang_timeshare(&jobs, 32, phish::sim::sharing::GANG_QUANTUM, phish::sim::sharing::GANG_SWITCH_COST);
+    let gang = gang_timeshare(
+        &jobs,
+        32,
+        phish::sim::sharing::GANG_QUANTUM,
+        phish::sim::sharing::GANG_SWITCH_COST,
+    );
     let stat = space_share(&jobs, 32, false);
     let adap = space_share(&jobs, 32, true);
     // Space beats gang on throughput; adaptive beats static on mean

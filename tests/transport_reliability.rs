@@ -10,9 +10,7 @@ use phish::net::{
     SendCost,
 };
 
-fn reliable_pair(
-    cfg: LossyConfig,
-) -> (ReliableEndpoint<u64>, ReliableEndpoint<u64>) {
+fn reliable_pair(cfg: LossyConfig) -> (ReliableEndpoint<u64>, ReliableEndpoint<u64>) {
     let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
     let mut it = eps.into_iter();
     let rel = ReliableConfig {

@@ -1,0 +1,426 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! slice of crossbeam 0.8 the workspace uses — [`channel`] (unbounded MPMC
+//! with timeouts and disconnect semantics), [`queue::SegQueue`], and
+//! [`deque`] (Chase–Lev-shaped owner/stealer API) — on top of `std::sync`.
+//! Semantics (blocking, disconnection, steal outcomes) match upstream; the
+//! lock-free performance characteristics do not.
+
+pub mod channel {
+    //! Unbounded MPMC channels with `std::sync::mpsc`-style error types.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner.lock().push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.inner.senders.load(Ordering::Acquire) == 0
+        }
+
+        /// Dequeues a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.lock();
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.disconnected() => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvError);
+                }
+                q = self
+                    .inner
+                    .ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks until a message arrives, every sender disconnects, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// An unbounded MPMC FIFO queue (upstream: lock-free segmented; here a
+    /// mutexed ring buffer with the same API and ordering).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Enqueues `value` at the back.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Dequeues from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the Chase–Lev owner/stealer API shape.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// The outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The deque was observed empty.
+        Empty,
+        /// The attempt lost a race; retry.
+        Retry,
+    }
+
+    struct Buf<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Buf<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The owner's handle: LIFO push/pop at the back.
+    pub struct Worker<T> {
+        buf: Arc<Buf<T>>,
+    }
+
+    /// A thief's handle: FIFO steals from the front.
+    pub struct Stealer<T> {
+        buf: Arc<Buf<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker {
+                buf: Arc::new(Buf {
+                    inner: Mutex::new(VecDeque::new()),
+                }),
+            }
+        }
+
+        /// Pushes onto the owner's end.
+        pub fn push(&self, value: T) {
+            self.buf.lock().push_back(value);
+        }
+
+        /// Pops from the owner's end (most recent push first).
+        pub fn pop(&self) -> Option<T> {
+            self.buf.lock().pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.buf.lock().is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                buf: Arc::clone(&self.buf),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest element.
+        pub fn steal(&self) -> Steal<T> {
+            match self.buf.lock().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                buf: Arc::clone(&self.buf),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn channel_blocking_recv_crosses_threads() {
+        let (tx, rx) = channel::unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn segqueue_is_fifo() {
+        let q = queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn deque_owner_lifo_thief_fifo() {
+        let w = deque::Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert!(matches!(s.steal(), deque::Steal::Success(1)));
+        assert_eq!(w.pop(), Some(2));
+        assert!(matches!(s.steal(), deque::Steal::Empty));
+    }
+}
