@@ -1,20 +1,23 @@
-//! Criterion benchmarks of the network substrate: raw channel sends, fault
-//! injection, and the full reliability stack — the in-process analogue of
+//! Criterion benchmarks of the message fabric: reliable sends, fault
+//! injection, and the full recovery protocol — the in-process analogue of
 //! the paper's "software overhead incurred when sending a message".
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use phish_net::reliable::ReliableMsg;
-use phish_net::{
-    ChannelNet, LossyConfig, LossyEndpoint, NodeId, ReliableConfig, ReliableEndpoint, SendCost,
-};
+use phish_net::{Fabric, FabricConfig, FabricEndpoint, LossyConfig, NodeId, ReliableConfig};
 
-fn bench_channel_send_recv(c: &mut Criterion) {
-    let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
-    let mut it = eps.into_iter();
+fn pair(cfg: FabricConfig) -> (FabricEndpoint<u64>, FabricEndpoint<u64>) {
+    let mut it = Fabric::<u64>::new(2, cfg).into_endpoints().into_iter();
     let a = it.next().unwrap();
     let b = it.next().unwrap();
-    c.bench_function("transport/channel/send_recv", |bch| {
+    (a, b)
+}
+
+fn bench_reliable_send_recv(c: &mut Criterion) {
+    // The reliable policy's per-message cost: one send straight to the
+    // destination queue, one receive.
+    let (mut a, b) = pair(FabricConfig::reliable());
+    c.bench_function("transport/fabric/send_recv", |bch| {
         bch.iter(|| {
             a.send(NodeId(1), black_box(7));
             black_box(b.try_recv())
@@ -23,75 +26,70 @@ fn bench_channel_send_recv(c: &mut Criterion) {
 }
 
 fn bench_lossy_send(c: &mut Criterion) {
-    let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
-    let mut it = eps.into_iter();
-    let mut a = LossyEndpoint::new(it.next().unwrap(), LossyConfig::nasty(1));
-    let b = it.next().unwrap();
+    // The fault injector's per-send cost under a nasty schedule (the
+    // receiver drains whatever survived; recovery is never pumped, so this
+    // isolates the injection overhead).
+    let (mut a, b) = pair(FabricConfig::lossy(LossyConfig::nasty(1)));
+    let mut now = 0u64;
     c.bench_function("transport/lossy/send_recv", |bch| {
         bch.iter(|| {
-            a.send(NodeId(1), black_box(7));
+            now += 1;
+            a.send_at(NodeId(1), black_box(7), now);
             while b.try_recv().is_some() {}
         })
     });
 }
 
-fn bench_reliable_roundtrip(c: &mut Criterion) {
-    // One message through the full ack/retransmit/dedup stack on a clean
-    // link: the fixed protocol cost.
-    c.bench_function("transport/reliable/send_pump_clean", |bch| {
-        let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
-        let mut it = eps.into_iter();
-        let rel = ReliableConfig {
+fn bench_recovery_roundtrip(c: &mut Criterion) {
+    // One message through the full ack/retransmit/dedup protocol on a clean
+    // link: the fixed recovery cost.
+    c.bench_function("transport/recovery/send_pump_clean", |bch| {
+        let recovery = ReliableConfig {
             rto: 1_000_000,
             max_retries: 10,
         };
-        let mut a = ReliableEndpoint::new(
-            LossyEndpoint::new(it.next().unwrap(), LossyConfig::perfect(1)),
-            rel,
-        );
-        let mut b = ReliableEndpoint::new(
-            LossyEndpoint::new(it.next().unwrap(), LossyConfig::perfect(2)),
-            rel,
-        );
+        let (mut a, mut b) =
+            pair(FabricConfig::lossy(LossyConfig::perfect(1)).with_recovery(recovery));
         let mut now = 0u64;
         bch.iter(|| {
             now += 1;
-            a.send(NodeId(1), black_box(9), now);
-            let delivered = b.pump(now);
-            a.pump(now);
+            a.send_at(NodeId(1), black_box(9), now);
+            b.pump_at(now);
+            let delivered = b.try_recv();
+            a.pump_at(now);
             black_box(delivered)
         })
     });
 }
 
-fn bench_reliable_under_loss(c: &mut Criterion) {
+fn bench_recovery_under_loss(c: &mut Criterion) {
     // Amortized cost per delivered message at 20% loss, retransmissions
     // included.
-    c.bench_function("transport/reliable/100msgs_20pct_loss", |bch| {
+    c.bench_function("transport/recovery/100msgs_20pct_loss", |bch| {
         bch.iter(|| {
-            let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
-            let mut it = eps.into_iter();
-            let rel = ReliableConfig {
+            let recovery = ReliableConfig {
                 rto: 10,
                 max_retries: 10_000,
             };
-            let lossy = LossyConfig {
+            let faults = LossyConfig {
                 drop_prob: 0.2,
                 dup_prob: 0.0,
                 reorder_prob: 0.0,
                 seed: 42,
             };
-            let mut a = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), lossy), rel);
-            let mut b = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), lossy), rel);
+            let (mut a, mut b) = pair(FabricConfig::lossy(faults).with_recovery(recovery));
             for i in 0..100 {
-                a.send(NodeId(1), i, 0);
+                a.send_at(NodeId(1), i, 0);
             }
             let mut got = 0;
             let mut now = 0;
             while got < 100 {
                 now += 11;
-                got += b.pump(now).len();
-                a.pump(now);
+                a.pump_at(now);
+                b.pump_at(now);
+                while b.try_recv().is_some() {
+                    got += 1;
+                }
             }
             black_box(got)
         })
@@ -100,9 +98,9 @@ fn bench_reliable_under_loss(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_channel_send_recv,
+    bench_reliable_send_recv,
     bench_lossy_send,
-    bench_reliable_roundtrip,
-    bench_reliable_under_loss,
+    bench_recovery_roundtrip,
+    bench_recovery_under_loss,
 );
 criterion_main!(benches);

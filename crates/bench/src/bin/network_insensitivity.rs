@@ -11,13 +11,21 @@
 //! time should barely move; the fine-grain one shows where the claim's
 //! "for some applications" qualifier bites.
 //!
+//! A second axis probes the claim against link *quality* rather than link
+//! *speed*: the same pfold on the threaded message-passing engine while
+//! the fabric drops 0–20% of datagrams (recovered by retransmission). A
+//! scheduler that barely communicates should barely notice packet loss.
+//!
 //! ```sh
 //! cargo run --release -p phish-bench --bin network_insensitivity [--chain N]
 //! ```
 
+use phish_apps::pfold::pfold_task;
 use phish_apps::{FibSpec, PfoldSpec};
-use phish_bench::{arg, fmt_virtual_secs, Table};
+use phish_bench::{arg, fmt_duration, fmt_virtual_secs, median_time, Table};
+use phish_core::{Cont, Engine, SchedulerConfig};
 use phish_net::time::MICROSECOND;
+use phish_net::LossyConfig;
 use phish_sim::microsim::ScaleCost;
 use phish_sim::{run_microsim, LinkModel, MicroSimConfig, Topology};
 
@@ -92,5 +100,59 @@ fn main() {
          Ethernet (steals are too rare to matter) — the §1 claim. The \
          fine-grain fib degrades visibly as messages get costly, which is \
          why the claim says \"for some applications\"."
+    );
+
+    loss_axis(chain, p);
+}
+
+/// The loss-rate axis: real threads, real message-protocol steals, and a
+/// fabric that drops the configured fraction of datagrams on the wire
+/// (recovered to exactly-once by ack/retransmission).
+fn loss_axis(chain: usize, p: usize) {
+    let depth = chain.min(6);
+    println!(
+        "\nloss axis — pfold({chain}) on the threaded message-passing \
+         engine at P = {p}, wall clock, drop rate 0\u{2013}20%\n"
+    );
+    let t = Table::new(&[14, 12, 12, 10]);
+    t.row(&[
+        "drop rate".into(),
+        "wall time".into(),
+        "messages".into(),
+        "steals".into(),
+    ]);
+    t.sep();
+    let mut times = Vec::new();
+    for pct in [0u32, 5, 10, 15, 20] {
+        let mut cfg = SchedulerConfig::paper_distributed(p).with_seed(7);
+        if pct > 0 {
+            cfg = cfg.with_link_faults(LossyConfig::dropping(
+                pct as f64 / 100.0,
+                0x1055 + pct as u64,
+            ));
+        }
+        let ((_, stats), wall) =
+            median_time(3, || Engine::run(cfg, pfold_task(chain, depth, Cont::ROOT)));
+        t.row(&[
+            if pct == 0 {
+                "0% (reliable)".into()
+            } else {
+                format!("{pct}%")
+            },
+            fmt_duration(wall),
+            format!("{}", stats.messages_sent),
+            format!("{}", stats.tasks_stolen),
+        ]);
+        times.push(wall);
+    }
+    t.sep();
+    let spread =
+        times.iter().max().unwrap().as_secs_f64() / times.iter().min().unwrap().as_secs_f64();
+    println!("\npfold wall-time spread across 0\u{2013}20% datagram loss: {spread:.2}x.");
+    println!(
+        "expected shape: completion time stays nearly flat while the message \
+         count grows with the drop rate (retransmissions are counted) — the \
+         scheduler communicates so rarely that even a fifth of all datagrams \
+         vanishing costs almost nothing end-to-end."
     );
 }

@@ -6,7 +6,7 @@
 //! benchmarks (`ablation_orders`) can demonstrate *why* the paper's settings
 //! win.
 
-use phish_net::Nanos;
+use phish_net::{LossyConfig, Nanos};
 
 /// Which end of its own ready list a worker executes from.
 ///
@@ -92,6 +92,13 @@ pub struct SchedulerConfig {
     /// Simulated software overhead charged per inter-worker message, in
     /// nanoseconds. Models the workstation-LAN cost the paper highlights.
     pub send_overhead: Nanos,
+    /// Seeded fault injection on the inter-worker fabric: `Some` runs
+    /// every steal message and non-local synchronisation over lossy
+    /// datagrams with drop/duplicate/reorder faults, recovered to
+    /// exactly-once delivery by the fabric's retransmission protocol —
+    /// raw-UDP semantics, as on the paper's network. `None` (the default)
+    /// uses reliable in-process links.
+    pub link_faults: Option<LossyConfig>,
     /// Per-worker scheduling-trace capacity in events; 0 disables tracing
     /// (the default — tracing costs one branch per operation when off).
     pub trace_capacity: usize,
@@ -114,6 +121,7 @@ impl SchedulerConfig {
             retire: RetirePolicy::Never,
             seed: 0x5EED,
             send_overhead: 0,
+            link_faults: None,
             trace_capacity: 0,
             track_busy: false,
         }
@@ -140,6 +148,12 @@ impl SchedulerConfig {
         self
     }
 
+    /// Injects seeded link faults on the inter-worker fabric.
+    pub fn with_link_faults(mut self, faults: LossyConfig) -> Self {
+        self.link_faults = Some(faults);
+        self
+    }
+
     /// Enables scheduling traces with the given per-worker capacity.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
@@ -159,6 +173,20 @@ impl SchedulerConfig {
         }
         if let RetirePolicy::AfterFailedRounds(0) = self.retire {
             return Err("AfterFailedRounds(0) would retire workers instantly".into());
+        }
+        if let Some(f) = &self.link_faults {
+            for (name, p) in [
+                ("drop_prob", f.drop_prob),
+                ("dup_prob", f.dup_prob),
+                ("reorder_prob", f.reorder_prob),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("link_faults.{name} must be in [0, 1], got {p}"));
+                }
+                if name == "drop_prob" && p >= 1.0 {
+                    return Err("link_faults.drop_prob of 1.0 can never deliver".into());
+                }
+            }
         }
         Ok(())
     }

@@ -41,16 +41,19 @@ impl Engine {
         root: TaskFn<T>,
     ) -> (T, JobStats, JobTrace) {
         cfg.validate().expect("invalid scheduler configuration");
-        let shared = Arc::new(Shared::new(cfg));
+        let (shared, endpoints) = Shared::new(cfg);
+        let shared = Arc::new(shared);
         shared.deques[0].push(Task { run: root });
         let start = Instant::now();
-        let handles: Vec<_> = (0..cfg.workers)
-            .map(|i| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("phish-worker-{i}"))
                     .spawn(move || {
-                        let mut w = Worker::new(i, sh);
+                        let mut w = Worker::new(i, sh, ep);
                         let stats = w.run_loop();
                         (stats, w.take_trace())
                     })
@@ -352,6 +355,44 @@ mod tests {
         let (v, stats) = Engine::run(cfg, sum_task(1, 5_000, Cont::ROOT));
         assert_eq!(v, 12_502_500);
         assert!(stats.per_worker.len() == 3);
+    }
+
+    #[test]
+    fn message_protocol_survives_lossy_links() {
+        // The headline Phish property: the scheduler runs over raw
+        // datagrams. With 15% drop + 10% dup + 10% reorder on every link,
+        // the fabric's ack/retransmit/dedup protocol must still deliver an
+        // exact result, and the retransmissions must show in the counters.
+        use phish_net::LossyConfig;
+        for seed in 0..3u64 {
+            let cfg = SchedulerConfig::paper_distributed(4)
+                .with_seed(seed)
+                .with_link_faults(LossyConfig {
+                    drop_prob: 0.15,
+                    dup_prob: 0.10,
+                    reorder_prob: 0.10,
+                    seed: 0xDA7A ^ seed,
+                });
+            let (v, stats) = Engine::run(cfg, sum_task(1, 10_000, Cont::ROOT));
+            assert_eq!(v, 50_005_000, "seed {seed}: loss must not corrupt the sum");
+            assert!(stats.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn retirement_survives_lossy_links() {
+        // Retirement migrates join-cell shards in AdoptShard messages; a
+        // dropped one would lose cells outright, so this exercises the
+        // retire-time quiesce path.
+        use phish_net::LossyConfig;
+        for seed in 0..3u64 {
+            let mut cfg = SchedulerConfig::paper_distributed(4)
+                .with_seed(seed)
+                .with_link_faults(LossyConfig::nasty(0x1055_u64 ^ seed));
+            cfg.retire = RetirePolicy::AfterFailedRounds(1);
+            let (v, _) = Engine::run(cfg, sum_task(1, 10_000, Cont::ROOT));
+            assert_eq!(v, 50_005_000, "seed {seed}");
+        }
     }
 
     #[test]

@@ -136,6 +136,23 @@ pub enum Msg<T> {
     },
 }
 
+impl<T> phish_net::WireSized for Msg<T> {
+    fn wire_bytes(&self) -> usize {
+        use phish_net::message::HEADER_BYTES;
+        match self {
+            // Cell name (owner + slab key), slot index, and one value word.
+            Msg::Post { .. } => HEADER_BYTES + 24,
+            Msg::StealRequest { .. } => HEADER_BYTES + 8,
+            // A migrated task is a closure here, but on the wire it would be
+            // a code pointer plus a small environment.
+            Msg::StealReply { .. } => HEADER_BYTES + 16,
+            Msg::AdoptShard { cells, tasks, .. } => {
+                HEADER_BYTES + 8 + cells.len() * 32 + tasks.len() * 16
+            }
+        }
+    }
+}
+
 impl<T> std::fmt::Debug for Msg<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -21,7 +21,9 @@
 //! active-participant victim set, and retirement-by-migration. All
 //! per-worker state (join-cell shards, statistics, RNG) is thread-local to
 //! the worker; cross-worker effects travel through the shared ready deques
-//! and the per-worker mailboxes.
+//! and the job's message [fabric](phish_net::fabric) — one node per
+//! original worker id, optionally configured with seeded link faults so the
+//! whole scheduler runs over raw-datagram semantics.
 
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -29,10 +31,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
-use phish_net::SendCost;
+use phish_net::{
+    Fabric, FabricConfig, FabricEndpoint, FabricHandle, NodeId, ReliableConfig, SendCost,
+};
 
 use crate::cell::{Cell, JoinFn};
 use crate::config::{SchedulerConfig, StealProtocol};
@@ -50,10 +53,12 @@ pub(crate) struct Shared<T> {
     /// One ready list per worker, shared so thieves can reach them under
     /// the shared-memory steal protocol.
     pub deques: Vec<ReadyDeque<Task<T>>>,
-    /// One mailbox per *original* worker id. Messages are routed by cell
-    /// ownership; adoption transfers polling responsibility, never the
-    /// mailbox itself, so in-flight messages are never lost.
-    pub mailboxes: Vec<SegQueue<Msg<T>>>,
+    /// The message fabric between participants: one node per *original*
+    /// worker id. Messages are routed by cell ownership; adoption transfers
+    /// polling responsibility, never the node's inbound queue itself, so
+    /// in-flight messages are never lost. All message costs and counts are
+    /// charged by the fabric, never by the scheduler.
+    pub net: FabricHandle<Msg<T>>,
     /// Set when the root continuation is posted.
     pub done: AtomicBool,
     /// The job's result.
@@ -62,22 +67,34 @@ pub(crate) struct Shared<T> {
     pub active: Vec<AtomicBool>,
     /// Count of active workers (retirement keeps this ≥ 1).
     pub active_count: AtomicUsize,
-    /// Simulated per-message software overhead.
-    pub send_cost: SendCost,
 }
 
-impl<T> Shared<T> {
-    pub(crate) fn new(cfg: SchedulerConfig) -> Self {
-        Self {
+impl<T: Send + 'static> Shared<T> {
+    pub(crate) fn new(cfg: SchedulerConfig) -> (Self, Vec<FabricEndpoint<Msg<T>>>) {
+        // Nodes must keep receiving after their owning endpoint drops:
+        // a retired worker's thread exits while its original mailbox is
+        // still polled by the adoptee.
+        let fabric_cfg = match cfg.link_faults {
+            // Busy-polling workers pump constantly, so an aggressive
+            // retransmission timer recovers losses at spin-loop latency.
+            Some(faults) => FabricConfig::lossy(faults).with_recovery(ReliableConfig::aggressive()),
+            None => FabricConfig::reliable(),
+        }
+        .with_cost(SendCost::with_overhead(cfg.send_overhead))
+        .keep_open_on_drop();
+        let fabric = Fabric::new(cfg.workers, fabric_cfg);
+        let net = fabric.handle();
+        let endpoints = fabric.into_endpoints();
+        let shared = Self {
             cfg,
             deques: (0..cfg.workers).map(|_| ReadyDeque::new()).collect(),
-            mailboxes: (0..cfg.workers).map(|_| SegQueue::new()).collect(),
+            net,
             done: AtomicBool::new(false),
             result: Mutex::new(None),
             active: (0..cfg.workers).map(|_| AtomicBool::new(true)).collect(),
             active_count: AtomicUsize::new(cfg.workers),
-            send_cost: SendCost::with_overhead(cfg.send_overhead),
-        }
+        };
+        (shared, endpoints)
     }
 }
 
@@ -88,6 +105,8 @@ impl<T> Shared<T> {
 pub struct Worker<T> {
     id: WorkerId,
     shared: Arc<Shared<T>>,
+    /// This worker's endpoint on the job's message fabric.
+    net: FabricEndpoint<Msg<T>>,
     /// Join-cell shards this worker hosts, keyed by original owner.
     /// Initially just its own; grows by adoption.
     shards: HashMap<WorkerId, Slab<Cell<T>>>,
@@ -104,13 +123,15 @@ pub struct Worker<T> {
 }
 
 impl<T: Send + 'static> Worker<T> {
-    pub(crate) fn new(id: WorkerId, shared: Arc<Shared<T>>) -> Self {
+    pub(crate) fn new(id: WorkerId, shared: Arc<Shared<T>>, net: FabricEndpoint<Msg<T>>) -> Self {
+        debug_assert_eq!(net.id().index(), id);
         let ctl = KernelCtl::from_config(id, &shared.cfg);
         let mut shards = HashMap::new();
         shards.insert(id, Slab::new());
         Self {
             id,
             shared,
+            net,
             shards,
             polled_mailboxes: vec![id],
             ctl,
@@ -267,10 +288,12 @@ impl<T: Send + 'static> Worker<T> {
             .sample_in_use((live_cells + deque_len + executing) as u64);
     }
 
+    /// Sends a message to the node addressed by `origin_mailbox`. The
+    /// fabric charges the send overhead and records the count — no manual
+    /// accounting here, so `messages_sent` cannot drift from the wire.
     fn send_msg(&mut self, origin_mailbox: WorkerId, msg: Msg<T>) {
-        self.ctl.stats.messages_sent += 1;
-        self.shared.send_cost.pay();
-        self.shared.mailboxes[origin_mailbox].push(msg);
+        let delivered = self.net.send(NodeId(origin_mailbox as u32), msg);
+        debug_assert!(delivered, "worker nodes stay open for the whole job");
     }
 
     /// Applies a post to a cell hosted by this worker.
@@ -291,15 +314,18 @@ impl<T: Send + 'static> Worker<T> {
     }
 
     fn drain_mailboxes(&mut self) -> bool {
+        // Drive the link protocol: flush reordered holdbacks, process acks,
+        // retransmit anything the lossy link swallowed.
+        self.net.pump_now();
         let shared = Arc::clone(&self.shared);
         let mut did_work = false;
         let mut i = 0;
         // Indexed loop: handling AdoptShard can grow `polled_mailboxes`.
         while i < self.polled_mailboxes.len() {
             let origin = self.polled_mailboxes[i];
-            while let Some(msg) = shared.mailboxes[origin].pop() {
+            while let Some(env) = shared.net.try_recv_at(origin) {
                 did_work = true;
-                self.handle_msg(msg);
+                self.handle_msg(env.body);
             }
             i += 1;
         }
@@ -442,6 +468,14 @@ impl<T: Send + 'static> Worker<T> {
         }
         self.shards.clear();
         self.polled_mailboxes.clear();
+        // The adoptee must actually receive every migrated shard: on a
+        // lossy link an AdoptShard may be in the retransmission window, and
+        // once this thread exits nobody would pump it again. Stay until the
+        // fabric confirms delivery (or the job finishes without us).
+        while self.net.in_flight() > 0 && !self.shared.done.load(Ordering::Acquire) {
+            self.net.pump_now();
+            std::hint::spin_loop();
+        }
         self.ctl.record(TraceEventKind::Retire);
         self.retired = true;
         true
@@ -456,6 +490,10 @@ impl<T: Send + 'static> Worker<T> {
     /// and returns its final statistics.
     pub(crate) fn run_loop(&mut self) -> WorkerStats {
         SchedulerCore::new().run(self);
+        // Message accounting comes solely from the fabric's per-node
+        // counters: what this worker's endpoint put on the wire is what the
+        // job report shows.
+        self.ctl.stats.messages_sent = self.net.metrics().messages_sent;
         self.ctl.stats
     }
 }

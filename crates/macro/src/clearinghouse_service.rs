@@ -18,7 +18,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use phish_net::time::{Clock, Nanos, RealClock};
-use phish_net::{ChannelNet, NodeId, RpcClient, RpcFrame, RpcServer, SendCost, WireSized};
+use phish_net::{
+    Fabric, FabricConfig, FabricHandle, NodeId, RpcClient, RpcFrame, RpcServer, WireSized,
+};
 
 use crate::clearinghouse::{Clearinghouse, ClearinghouseStats, Roster};
 
@@ -75,6 +77,7 @@ type Frame = RpcFrame<ChRequest, ChReply>;
 pub struct ClearinghouseService {
     handle: Option<std::thread::JoinHandle<(ClearinghouseStats, Vec<String>)>>,
     stop: Arc<AtomicBool>,
+    net: FabricHandle<Frame>,
     clients: Vec<Option<RpcClient<ChRequest, ChReply>>>,
     server_node: NodeId,
     /// Crash-detection deadline used by the serving loop.
@@ -84,13 +87,22 @@ pub struct ClearinghouseService {
 }
 
 impl ClearinghouseService {
-    /// Starts a Clearinghouse serving `clients` worker endpoints, declaring
-    /// a worker crashed after `crash_deadline` of silence.
+    /// Starts a Clearinghouse serving `clients` worker endpoints over
+    /// reliable links, declaring a worker crashed after `crash_deadline`
+    /// of silence.
     pub fn start(clients: usize, crash_deadline: Duration) -> Self {
-        let eps = ChannelNet::<Frame>::new(clients + 1, SendCost::FREE).into_endpoints();
-        let mut it = eps.into_iter();
-        let client_eps: Vec<_> = (0..clients).map(|_| it.next().expect("endpoint")).collect();
-        let server_ep = it.next().expect("server endpoint");
+        Self::start_with(clients, crash_deadline, FabricConfig::reliable())
+    }
+
+    /// [`ClearinghouseService::start`] over an arbitrary fabric — pass a
+    /// lossy configuration to run registration, heartbeats, and job I/O
+    /// over faulty datagram links.
+    pub fn start_with(clients: usize, crash_deadline: Duration, fabric_cfg: FabricConfig) -> Self {
+        let fabric = Fabric::<Frame>::new(clients + 1, fabric_cfg);
+        let net = fabric.handle();
+        let mut eps = fabric.into_endpoints();
+        let server_ep = eps.pop().expect("server endpoint");
+        let client_eps = eps;
         let server_node = server_ep.id();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -139,6 +151,7 @@ impl ClearinghouseService {
         Self {
             handle: Some(handle),
             stop,
+            net,
             clients: client_eps
                 .into_iter()
                 .map(|ep| Some(RpcClient::new(ep)))
@@ -155,11 +168,22 @@ impl ClearinghouseService {
     }
 
     /// Takes worker `i`'s client handle (each worker takes exactly one).
+    /// Taking an already-taken slot panics; once its holder departs, the
+    /// slot is reusable via [`ClearinghouseService::reclaim_slot`].
     pub fn take_client(&mut self, i: usize) -> ClearinghouseClient {
         ClearinghouseClient {
             rpc: self.clients[i].take().expect("client already taken"),
             server: self.server_node,
         }
+    }
+
+    /// Re-mints slot `i`'s endpoint for a newly arriving worker after the
+    /// previous holder departed (unregistered, crashed, or dropped its
+    /// client). The node is reopened on the same address — worker churn
+    /// reuses slots instead of leaking them.
+    pub fn reclaim_slot(&mut self, i: usize) -> ClearinghouseClient {
+        self.clients[i] = Some(RpcClient::new(self.net.endpoint(i)));
+        self.take_client(i)
     }
 
     /// Crashed workers detected so far (without going through a client).
@@ -302,5 +326,58 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.take_client(0)));
         assert!(r.is_err());
         svc.shutdown();
+    }
+
+    #[test]
+    fn slots_are_reclaimed_across_worker_churn() {
+        // Five generations of workers cycle through a single slot: each
+        // registers, works, unregisters, and departs (dropping its client
+        // closes the node). The slot must serve every newcomer instead of
+        // leaking — the regression this guards is a one-shot
+        // `Vec<Option<RpcClient>>` that panicked on the second arrival.
+        let mut svc = ClearinghouseService::start(1, Duration::from_secs(60));
+        for generation in 0..5u32 {
+            let mut w = if generation == 0 {
+                svc.take_client(0)
+            } else {
+                svc.reclaim_slot(0)
+            };
+            let roster = w.register(T).expect("roster");
+            assert_eq!(roster.participants.len(), 1, "generation {generation}");
+            assert!(w.write_line(format!("gen {generation}"), T));
+            assert!(w.unregister(T));
+        }
+        let (stats, output) = svc.shutdown();
+        assert_eq!(stats.registrations, 5);
+        assert_eq!(stats.unregistrations, 5);
+        assert_eq!(output.len(), 5);
+    }
+
+    #[test]
+    fn service_works_over_lossy_links() {
+        use phish_net::LossyConfig;
+        // Registration, output, and unregistration over 15% drop links:
+        // the fabric's recovery keeps the RPC protocol exactly-once.
+        let mut svc = ClearinghouseService::start_with(
+            2,
+            Duration::from_secs(60),
+            FabricConfig::lossy(LossyConfig {
+                drop_prob: 0.15,
+                dup_prob: 0.05,
+                reorder_prob: 0.10,
+                seed: 0xC1EA,
+            }),
+        );
+        let mut w0 = svc.take_client(0);
+        let mut w1 = svc.take_client(1);
+        assert!(w0.register(T).is_some());
+        assert!(w1.register(T).is_some());
+        assert!(w0.write_line("over a lossy link", T));
+        assert!(w0.unregister(T));
+        assert!(w1.unregister(T));
+        let (stats, output) = svc.shutdown();
+        assert_eq!(stats.registrations, 2);
+        assert_eq!(stats.unregistrations, 2);
+        assert_eq!(output.len(), 1);
     }
 }

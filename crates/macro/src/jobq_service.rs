@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use phish_net::{ChannelNet, NodeId, RpcClient, RpcFrame, RpcServer, SendCost, WireSized};
+use phish_net::{
+    Fabric, FabricConfig, FabricHandle, NodeId, RpcClient, RpcFrame, RpcServer, WireSized,
+};
 
 use crate::jobq::{AssignPolicy, JobAssignment, JobId, JobQ, JobQStats, JobSpec};
 
@@ -68,19 +70,28 @@ type Frame = RpcFrame<JobQRequest, JobQReply>;
 pub struct JobQService {
     handle: Option<std::thread::JoinHandle<JobQ>>,
     stop: Arc<AtomicBool>,
-    clients: Vec<RpcClient<JobQRequest, JobQReply>>,
+    net: FabricHandle<Frame>,
+    clients: Vec<Option<RpcClient<JobQRequest, JobQReply>>>,
     server_node: NodeId,
 }
 
 impl JobQService {
-    /// Starts a JobQ (with `policy`) serving `clients` client endpoints.
-    /// The server occupies the *last* node id, clients the first `clients`
-    /// ids.
+    /// Starts a JobQ (with `policy`) serving `clients` client endpoints
+    /// over reliable links. The server occupies the *last* node id,
+    /// clients the first `clients` ids.
     pub fn start(policy: AssignPolicy, clients: usize) -> Self {
-        let eps = ChannelNet::<Frame>::new(clients + 1, SendCost::FREE).into_endpoints();
-        let mut it = eps.into_iter();
-        let client_eps: Vec<_> = (0..clients).map(|_| it.next().expect("endpoint")).collect();
-        let server_ep = it.next().expect("server endpoint");
+        Self::start_with(policy, clients, FabricConfig::reliable())
+    }
+
+    /// [`JobQService::start`] over an arbitrary fabric — pass a lossy
+    /// configuration to run the whole job-pool protocol over faulty
+    /// datagram links.
+    pub fn start_with(policy: AssignPolicy, clients: usize, fabric_cfg: FabricConfig) -> Self {
+        let fabric = Fabric::<Frame>::new(clients + 1, fabric_cfg);
+        let net = fabric.handle();
+        let mut eps = fabric.into_endpoints();
+        let server_ep = eps.pop().expect("server endpoint");
+        let client_eps = eps;
         let server_node = server_ep.id();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -118,7 +129,11 @@ impl JobQService {
         Self {
             handle: Some(handle),
             stop,
-            clients: client_eps.into_iter().map(RpcClient::new).collect(),
+            net,
+            clients: client_eps
+                .into_iter()
+                .map(|ep| Some(RpcClient::new(ep)))
+                .collect(),
             server_node,
         }
     }
@@ -128,22 +143,22 @@ impl JobQService {
         self.server_node
     }
 
-    /// Takes client `i`'s handle (each workstation takes one).
+    /// Takes client `i`'s handle (each workstation takes one). Taking an
+    /// already-taken slot panics; use [`JobQService::reclaim_slot`] when a
+    /// departed workstation's slot should serve a newcomer.
     pub fn take_client(&mut self, i: usize) -> JobQClient {
         JobQClient {
-            rpc: std::mem::replace(
-                &mut self.clients[i],
-                // Replace with a dead client on a 1-node net; taking twice
-                // is a caller bug surfaced on first use.
-                RpcClient::new(
-                    ChannelNet::<Frame>::new(1, SendCost::FREE)
-                        .into_endpoints()
-                        .pop()
-                        .expect("endpoint"),
-                ),
-            ),
+            rpc: self.clients[i].take().expect("client already taken"),
             server: self.server_node,
         }
+    }
+
+    /// Re-mints slot `i`'s endpoint for a new workstation after its
+    /// previous holder departed (its client was dropped): the node is
+    /// reopened on the same address with a fresh fault schedule.
+    pub fn reclaim_slot(&mut self, i: usize) -> JobQClient {
+        self.clients[i] = Some(RpcClient::new(self.net.endpoint(i)));
+        self.take_client(i)
     }
 
     /// Stops the server and returns the final JobQ state.

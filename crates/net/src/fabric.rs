@@ -1,0 +1,1437 @@
+//! The unified message fabric.
+//!
+//! Every inter-node message path in the reproduction — kernel steal
+//! requests and non-local synchronisation sends, JobQ/Clearinghouse RPC,
+//! fault-tolerance heartbeats and ledger traffic — runs over one
+//! [`Fabric`]: a fully-connected network of dense-id nodes with a
+//! per-message cost model, a pluggable [`LinkPolicy`], and per-node plus
+//! per-link traffic counters. Table 2's "messages sent" row is read from
+//! these counters and nowhere else.
+//!
+//! Two policies cover the paper's two worlds:
+//!
+//! * [`LinkPolicy::Reliable`] — in-process channel delivery, reliable and
+//!   per-sender ordered. The protocol machinery is bypassed entirely, so
+//!   the fast path is a metrics bump plus a queue push.
+//! * [`LinkPolicy::Lossy`] — raw-UDP semantics: sends are dropped,
+//!   duplicated, and reordered under a seeded RNG ([`LossyConfig`]), and an
+//!   ack/retransmission/deduplication protocol ([`ReliableConfig`])
+//!   recovers exactly-once delivery, exactly as the Phish runtime layered
+//!   its protocol over datagrams (§3).
+//!
+//! The lossy policy works for *any* `Send` payload — including the boxed
+//! `FnOnce` closures that carry migrated tasks, which are not `Clone`. A
+//! datagram "lost on the wire" is simulated by retaining the owned body in
+//! the sender's unacked table instead of enqueueing it (observably
+//! identical to in-flight loss), so retransmission re-sends the original
+//! body rather than a copy. Duplicate delivery is exercised with payload-
+//! free [`Payload::Probe`] frames that replay a sequence number at the
+//! receiver's deduplication window.
+//!
+//! A third, single-owner instantiation, [`VirtualFabric`], carries the
+//! discrete-event simulator's traffic on a virtual clock: every message
+//! takes a caller-supplied latency and arrives exactly on time, in
+//! deterministic order.
+//!
+//! Inbound queues live in shared state and receiving is addressed by
+//! *node*, not by endpoint: [`FabricHandle::try_recv_at`] lets any thread
+//! drain any node's queue. The threaded engine's retirement protocol
+//! depends on this — a retiring worker's mailbox is adopted by a survivor,
+//! which simply takes over polling duty for that node id.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::queue::SegQueue;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Envelope, NodeId, WireSized};
+use crate::metrics::{NetMetrics, NetSnapshot};
+use crate::time::{Nanos, MICROSECOND, MILLISECOND};
+
+/// Per-message cost model applied on the sending side.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendCost {
+    /// Software overhead busy-spun on every send, in nanoseconds.
+    ///
+    /// Zero (the default) sends at channel speed. A few microseconds
+    /// emulates a tuned 1990s LAN stack; tens of microseconds emulates the
+    /// untuned UDP/IP path the paper used.
+    pub overhead: Nanos,
+}
+
+impl SendCost {
+    /// No injected overhead (supercomputer-interconnect-like).
+    pub const FREE: SendCost = SendCost { overhead: 0 };
+
+    /// A cost with the given software overhead per send.
+    pub fn with_overhead(overhead: Nanos) -> Self {
+        Self { overhead }
+    }
+
+    /// Busy-spins for the configured overhead; called once per send.
+    #[inline]
+    pub fn pay(&self) {
+        if self.overhead > 0 {
+            let start = Instant::now();
+            let limit = Duration::from_nanos(self.overhead);
+            while start.elapsed() < limit {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Fault probabilities for a lossy link. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyConfig {
+    /// Probability a sent message is silently discarded.
+    pub drop_prob: f64,
+    /// Probability a sent message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a sent message is delayed past the next send (pairwise
+    /// reordering).
+    pub reorder_prob: f64,
+    /// RNG seed; equal seeds give equal fault schedules.
+    pub seed: u64,
+}
+
+impl LossyConfig {
+    /// A perfectly behaved link (no faults).
+    pub fn perfect(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// A nasty link: 10% loss, 5% duplication, 10% reordering.
+    pub fn nasty(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.10,
+            dup_prob: 0.05,
+            reorder_prob: 0.10,
+            seed,
+        }
+    }
+
+    /// A pure-loss link with the given drop probability.
+    pub fn dropping(drop_prob: f64, seed: u64) -> Self {
+        Self {
+            drop_prob,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Tuning for the recovery protocol run under [`LinkPolicy::Lossy`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReliableConfig {
+    /// Retransmission timeout: a datagram unacknowledged for this long is
+    /// re-sent.
+    pub rto: Nanos,
+    /// Give up (and surface the peer as dead) after this many
+    /// retransmissions of a single datagram.
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self {
+            rto: 50 * MILLISECOND,
+            max_retries: 20,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// An aggressive profile for in-process engines: a retransmission
+    /// timeout short enough that a busy-polling scheduler loop recovers a
+    /// lost steal reply in microseconds, and effectively unlimited retries
+    /// (loss is injected, peers don't die unless closed).
+    pub fn aggressive() -> Self {
+        Self {
+            rto: 200 * MICROSECOND,
+            max_retries: u32::MAX,
+        }
+    }
+}
+
+/// How a fabric's links behave.
+#[derive(Debug, Clone, Copy)]
+pub enum LinkPolicy {
+    /// Reliable, per-sender-ordered delivery; no protocol overhead.
+    Reliable,
+    /// Datagram semantics with seeded fault injection, recovered to
+    /// exactly-once delivery by ack/retransmission/deduplication.
+    Lossy {
+        /// The injected fault schedule.
+        faults: LossyConfig,
+        /// The recovery protocol's tuning.
+        recovery: ReliableConfig,
+    },
+}
+
+/// Construction parameters for a [`Fabric`].
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Per-send software overhead.
+    pub cost: SendCost,
+    /// Link behaviour.
+    pub policy: LinkPolicy,
+    /// When true (the default), dropping a [`FabricEndpoint`] closes its
+    /// node — subsequent sends to it fail, like datagrams to a crashed
+    /// workstation. The threaded engine disables this because a retired
+    /// worker's mailbox is adopted and must keep receiving.
+    pub close_on_drop: bool,
+}
+
+impl FabricConfig {
+    /// Reliable links, free sends.
+    pub fn reliable() -> Self {
+        Self {
+            cost: SendCost::FREE,
+            policy: LinkPolicy::Reliable,
+            close_on_drop: true,
+        }
+    }
+
+    /// Lossy links under `faults`, recovered with
+    /// [`ReliableConfig::aggressive`].
+    pub fn lossy(faults: LossyConfig) -> Self {
+        Self {
+            cost: SendCost::FREE,
+            policy: LinkPolicy::Lossy {
+                faults,
+                recovery: ReliableConfig::aggressive(),
+            },
+            close_on_drop: true,
+        }
+    }
+
+    /// Replaces the per-send cost model.
+    pub fn with_cost(mut self, cost: SendCost) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the recovery tuning (no-op under [`LinkPolicy::Reliable`]).
+    pub fn with_recovery(mut self, recovery: ReliableConfig) -> Self {
+        if let LinkPolicy::Lossy { recovery: r, .. } = &mut self.policy {
+            *r = recovery;
+        }
+        self
+    }
+
+    /// Keeps nodes open when their endpoint is dropped (mailbox-adoption
+    /// semantics).
+    pub fn keep_open_on_drop(mut self) -> Self {
+        self.close_on_drop = false;
+        self
+    }
+
+    fn faults(&self) -> Option<(LossyConfig, ReliableConfig)> {
+        match self.policy {
+            LinkPolicy::Reliable => None,
+            LinkPolicy::Lossy { faults, recovery } => Some((faults, recovery)),
+        }
+    }
+}
+
+/// Wire payload: application data or a payload-free probe.
+///
+/// Probes replay a sequence number without a body; they are how the fault
+/// injector exercises duplicate delivery for payloads that cannot be
+/// cloned. A probe for a sequence the receiver has *seen* re-elicits the
+/// (possibly lost) ack; a probe for an unseen sequence is discarded
+/// unacknowledged — acking it would poison the dedup window and turn the
+/// real datagram into a "duplicate".
+#[derive(Debug)]
+enum Payload<M> {
+    Data(M),
+    Probe,
+}
+
+/// Receiver-side exactly-once window for one `(src, dst)` flow.
+#[derive(Debug)]
+struct RecvFlow {
+    /// All seq numbers below this have been delivered.
+    cursor: u64,
+    /// Delivered seqs at or above `cursor` (out-of-order arrivals).
+    seen: HashSet<u64>,
+}
+
+impl Default for RecvFlow {
+    fn default() -> Self {
+        // Sequence numbers start at 1, so everything below 1 is "delivered".
+        Self {
+            cursor: 1,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl RecvFlow {
+    /// Returns true when `seq` is fresh, recording it as delivered.
+    fn accept(&mut self, seq: u64) -> bool {
+        if self.contains(seq) {
+            return false;
+        }
+        self.seen.insert(seq);
+        while self.seen.remove(&self.cursor) {
+            self.cursor += 1;
+        }
+        true
+    }
+
+    /// True when `seq` has already been delivered.
+    fn contains(&self, seq: u64) -> bool {
+        seq < self.cursor || self.seen.contains(&seq)
+    }
+}
+
+/// Shared per-node state: the inbound queue (drainable from any thread),
+/// the ack return path, the receive-side dedup windows, and this node's
+/// traffic counters.
+struct NodeState<M> {
+    inbound_tx: Sender<Envelope<Payload<M>>>,
+    inbound_rx: Receiver<Envelope<Payload<M>>>,
+    /// Acks addressed to this node's sender: `(acker, seq)`. Acks ride an
+    /// in-process control path — losing them is already modelled by the
+    /// send-side drop roll, which forces a retransmission the same way a
+    /// lost ack would.
+    acks: SegQueue<(NodeId, u64)>,
+    /// Dedup windows for traffic *arriving at* this node, keyed by source.
+    recv_flows: Mutex<HashMap<u32, RecvFlow>>,
+    metrics: NetMetrics,
+    closed: AtomicBool,
+    /// Bumped each time an endpoint is (re-)minted for this node, so a
+    /// reclaimed endpoint draws a fresh fault schedule.
+    incarnation: AtomicU64,
+}
+
+struct FabricShared<M> {
+    cfg: FabricConfig,
+    nodes: Vec<NodeState<M>>,
+    /// Per-link data-message counters, src-major: `links[src * n + dst]`.
+    link_msgs: Vec<AtomicU64>,
+    /// Per-link sequence allocators, shared so a re-minted endpoint
+    /// continues its predecessor's flows instead of colliding with the
+    /// receiver's dedup window.
+    next_seq: Vec<AtomicU64>,
+}
+
+impl<M: Send> FabricShared<M> {
+    #[inline]
+    fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn link(&self, src: usize, dst: usize) -> usize {
+        src * self.n() + dst
+    }
+
+    /// Runs the receive protocol for `node`'s queue: acks and dedups under
+    /// the lossy policy, passes reliable traffic straight through. Returns
+    /// the next fresh application message, if any is queued.
+    fn try_recv_at(&self, node: usize) -> Option<Envelope<M>> {
+        loop {
+            let env = self.nodes[node].inbound_rx.try_recv().ok()?;
+            if let Some(out) = self.process(node, env) {
+                return Some(out);
+            }
+        }
+    }
+
+    /// Blocking variant of [`FabricShared::try_recv_at`].
+    fn recv_timeout_at(&self, node: usize, timeout: Duration) -> Option<Envelope<M>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let env = self.nodes[node].inbound_rx.recv_timeout(remaining).ok()?;
+            if let Some(out) = self.process(node, env) {
+                return Some(out);
+            }
+        }
+    }
+
+    /// Protocol step for one inbound frame. `None` when the frame was
+    /// protocol-internal (duplicate data, probe).
+    fn process(&self, node: usize, env: Envelope<Payload<M>>) -> Option<Envelope<M>> {
+        let Envelope {
+            src,
+            dst,
+            seq,
+            body,
+        } = env;
+        match body {
+            Payload::Data(m) if seq == 0 => {
+                // Reliable-policy traffic: no protocol.
+                self.nodes[node].metrics.record_delivery();
+                Some(Envelope {
+                    src,
+                    dst,
+                    seq,
+                    body: m,
+                })
+            }
+            Payload::Data(m) => {
+                let fresh = {
+                    let mut flows = self.nodes[node].recv_flows.lock().unwrap();
+                    flows.entry(src.0).or_default().accept(seq)
+                };
+                // Always ack, even duplicates — the original ack may have
+                // been lost (modelled by the sender's drop roll).
+                self.nodes[src.index()].acks.push((dst, seq));
+                if fresh {
+                    self.nodes[node].metrics.record_delivery();
+                    Some(Envelope {
+                        src,
+                        dst,
+                        seq,
+                        body: m,
+                    })
+                } else {
+                    None
+                }
+            }
+            Payload::Probe => {
+                let seen = {
+                    let flows = self.nodes[node].recv_flows.lock().unwrap();
+                    flows.get(&src.0).is_some_and(|f| f.contains(seq))
+                };
+                if seen {
+                    // A duplicate of something already delivered: re-ack.
+                    self.nodes[src.index()].acks.push((dst, seq));
+                }
+                // An unseen probe is dropped *without* acking: the real
+                // datagram is still on its way.
+                None
+            }
+        }
+    }
+
+    fn total(&self) -> NetSnapshot {
+        let mut sum = NetSnapshot::default();
+        for node in &self.nodes {
+            let s = node.metrics.snapshot();
+            sum.messages_sent += s.messages_sent;
+            sum.bytes_sent += s.bytes_sent;
+            sum.messages_delivered += s.messages_delivered;
+            sum.messages_dropped += s.messages_dropped;
+            sum.messages_duplicated += s.messages_duplicated;
+            sum.retransmissions += s.retransmissions;
+        }
+        sum
+    }
+}
+
+/// A fully-connected network of `n` nodes under one [`FabricConfig`].
+///
+/// Build with [`Fabric::new`], split into per-node [`FabricEndpoint`]s
+/// with [`Fabric::into_endpoints`], and keep a [`FabricHandle`] for
+/// observation, cross-node receives, and slot reclamation.
+pub struct Fabric<M> {
+    shared: Arc<FabricShared<M>>,
+}
+
+impl<M: Send> Fabric<M> {
+    /// Builds a fabric of `n` nodes.
+    pub fn new(n: usize, cfg: FabricConfig) -> Self {
+        let nodes = (0..n)
+            .map(|_| {
+                let (inbound_tx, inbound_rx) = unbounded();
+                NodeState {
+                    inbound_tx,
+                    inbound_rx,
+                    acks: SegQueue::new(),
+                    recv_flows: Mutex::new(HashMap::new()),
+                    metrics: NetMetrics::new(),
+                    closed: AtomicBool::new(false),
+                    incarnation: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let link_msgs = (0..n * n).map(|_| AtomicU64::new(0)).collect();
+        let next_seq = (0..n * n).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            shared: Arc::new(FabricShared {
+                cfg,
+                nodes,
+                link_msgs,
+                next_seq,
+            }),
+        }
+    }
+
+    /// An observation/receive handle onto the fabric.
+    pub fn handle(&self) -> FabricHandle<M> {
+        FabricHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Consumes the fabric, yielding one endpoint per node (index = id).
+    pub fn into_endpoints(self) -> Vec<FabricEndpoint<M>> {
+        let handle = self.handle();
+        (0..self.shared.n()).map(|i| handle.endpoint(i)).collect()
+    }
+}
+
+/// A clonable handle for observing a [`Fabric`] and receiving on behalf of
+/// any node.
+pub struct FabricHandle<M> {
+    shared: Arc<FabricShared<M>>,
+}
+
+impl<M> Clone for FabricHandle<M> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: Send> FabricHandle<M> {
+    /// Number of nodes on the fabric.
+    pub fn node_count(&self) -> usize {
+        self.shared.n()
+    }
+
+    /// Receives the next fresh message addressed to `node`, from any
+    /// thread. This is how an adopted mailbox keeps draining after its
+    /// original owner retired.
+    pub fn try_recv_at(&self, node: usize) -> Option<Envelope<M>> {
+        self.shared.try_recv_at(node)
+    }
+
+    /// Messages queued at `node` (including undrained protocol frames).
+    pub fn pending_at(&self, node: usize) -> usize {
+        self.shared.nodes[node].inbound_rx.len()
+    }
+
+    /// Marks `node` closed: subsequent sends to it report failure, like
+    /// datagrams to a crashed workstation.
+    pub fn close(&self, node: usize) {
+        self.shared.nodes[node]
+            .closed
+            .store(true, Ordering::Release);
+    }
+
+    /// True when `node` has been closed (explicitly or by endpoint drop).
+    pub fn is_closed(&self, node: usize) -> bool {
+        self.shared.nodes[node].closed.load(Ordering::Acquire)
+    }
+
+    /// (Re-)mints the sending endpoint for `node`, reopening it.
+    ///
+    /// At most one endpoint per node should be live at a time: endpoints
+    /// share the node's inbound queue, so two would split its traffic.
+    /// Reclaiming the slot of a departed holder is exactly the intended
+    /// use (see the Clearinghouse's client-slot model).
+    pub fn endpoint(&self, node: usize) -> FabricEndpoint<M> {
+        let state = &self.shared.nodes[node];
+        state.closed.store(false, Ordering::Release);
+        let incarnation = state.incarnation.fetch_add(1, Ordering::AcqRel);
+        let tx = self.shared.cfg.faults().map(|(faults, _)| {
+            // Distinct nodes — and distinct incarnations of one node —
+            // draw distinct fault schedules from one user seed, like
+            // distinct hosts on a real LAN.
+            let salt = 0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(node as u64 + 1)
+                .wrapping_add(incarnation.wrapping_mul(0xA24B_AED4_963E_E407));
+            TxLossy {
+                rng: SmallRng::seed_from_u64(faults.seed ^ salt),
+                unacked: HashMap::new(),
+                holdback: Vec::new(),
+                dead_peers: Vec::new(),
+            }
+        });
+        FabricEndpoint {
+            id: NodeId(node as u32),
+            shared: Arc::clone(&self.shared),
+            epoch: Instant::now(),
+            tx,
+        }
+    }
+
+    /// Traffic counters of one node (its sends, deliveries to it).
+    pub fn metrics_of(&self, node: usize) -> NetSnapshot {
+        self.shared.nodes[node].metrics.snapshot()
+    }
+
+    /// Messages sent by `node`, including retransmissions.
+    pub fn messages_sent_by(&self, node: usize) -> u64 {
+        self.metrics_of(node).messages_sent
+    }
+
+    /// Whole-fabric traffic counters (sum over nodes).
+    pub fn total(&self) -> NetSnapshot {
+        self.shared.total()
+    }
+
+    /// Data messages carried by the `src → dst` link, including
+    /// retransmissions.
+    pub fn link_messages(&self, src: usize, dst: usize) -> u64 {
+        self.shared.link_msgs[self.shared.link(src, dst)].load(Ordering::Relaxed)
+    }
+}
+
+/// A retained unacked datagram. `body: Some` means the send (or a
+/// retransmission) was "lost on the wire" and the original body is held
+/// for re-sending; `body: None` means a copy is physically in the
+/// destination queue and only the ack is outstanding.
+struct Retained<M> {
+    body: Option<M>,
+    bytes: usize,
+    last_tx: Nanos,
+    retries: u32,
+}
+
+/// Send-side protocol state, present only under [`LinkPolicy::Lossy`].
+struct TxLossy<M> {
+    rng: SmallRng,
+    unacked: HashMap<(u32, u64), Retained<M>>,
+    /// Messages held back by the reordering fault, transmitted after the
+    /// next send or pump — pairwise reordering, as in a real LAN where a
+    /// later datagram overtakes an earlier one.
+    holdback: Vec<(NodeId, u64, M, usize)>,
+    dead_peers: Vec<NodeId>,
+}
+
+/// One node's attachment to a [`Fabric`].
+///
+/// Sending never blocks; receiving is by non-blocking poll (matching the
+/// split-phase style of the Phish runtime) plus a blocking variant for
+/// daemon-style loops. Under the lossy policy, callers must
+/// [`FabricEndpoint::pump_now`] periodically to collect acks and drive
+/// retransmissions.
+pub struct FabricEndpoint<M> {
+    id: NodeId,
+    shared: Arc<FabricShared<M>>,
+    epoch: Instant,
+    tx: Option<TxLossy<M>>,
+}
+
+impl<M: Send> FabricEndpoint<M> {
+    /// This endpoint's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn node_count(&self) -> usize {
+        self.shared.n()
+    }
+
+    /// An observation/receive handle onto the fabric.
+    pub fn handle(&self) -> FabricHandle<M> {
+        FabricHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// This node's traffic counters.
+    pub fn metrics(&self) -> NetSnapshot {
+        self.shared.nodes[self.id.index()].metrics.snapshot()
+    }
+
+    /// This endpoint's monotonic clock reading (nanoseconds since the
+    /// endpoint was minted) — the timebase used by [`FabricEndpoint::send`]
+    /// and [`FabricEndpoint::pump_now`].
+    pub fn now(&self) -> Nanos {
+        self.epoch.elapsed().as_nanos() as Nanos
+    }
+
+    /// Sends `body` to `dst`, paying the configured software overhead.
+    ///
+    /// Returns `false` if the destination node is closed (a "crashed
+    /// workstation"): datagrams to dead hosts vanish silently, and callers
+    /// that care layer recovery on top.
+    pub fn send(&mut self, dst: NodeId, body: M) -> bool
+    where
+        M: WireSized,
+    {
+        let now = self.now();
+        self.send_at(dst, body, now)
+    }
+
+    /// [`FabricEndpoint::send`] with an explicit clock reading, for
+    /// deterministic tests driving virtual time. Callers must use either
+    /// the real clock or a manual one consistently, never both.
+    pub fn send_at(&mut self, dst: NodeId, body: M, now: Nanos) -> bool
+    where
+        M: WireSized,
+    {
+        let me = self.id;
+        let shared = Arc::clone(&self.shared);
+        shared.cfg.cost.pay();
+        let bytes = body.wire_bytes();
+        let node = &shared.nodes[me.index()];
+        node.metrics.record_send(bytes);
+        shared.link_msgs[shared.link(me.index(), dst.index())].fetch_add(1, Ordering::Relaxed);
+        let open = !shared.nodes[dst.index()].closed.load(Ordering::Acquire);
+        let Some(tx) = self.tx.as_mut() else {
+            // Reliable policy: straight to the destination queue.
+            if open {
+                let _ = shared.nodes[dst.index()].inbound_tx.send(Envelope {
+                    src: me,
+                    dst,
+                    seq: 0,
+                    body: Payload::Data(body),
+                });
+            }
+            return open;
+        };
+        let seq = shared.next_seq[shared.link(me.index(), dst.index())]
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        let (faults, _) = shared.cfg.faults().expect("lossy tx implies lossy policy");
+        if !open || tx.rng.gen_bool(faults.drop_prob) {
+            // Lost on the wire (or addressed to a dead host): retain the
+            // body for retransmission. The drop still unblocks anything
+            // held for reordering, as a real later datagram would.
+            node.metrics.record_drop();
+            tx.unacked.insert(
+                (dst.0, seq),
+                Retained {
+                    body: Some(body),
+                    bytes,
+                    last_tx: now,
+                    retries: 0,
+                },
+            );
+            Self::flush_holdback(&shared, me, tx, now);
+            return true;
+        }
+        if tx.rng.gen_bool(faults.reorder_prob) {
+            tx.holdback.push((dst, seq, body, bytes));
+            return true;
+        }
+        let dup = tx.rng.gen_bool(faults.dup_prob);
+        let _ = shared.nodes[dst.index()].inbound_tx.send(Envelope {
+            src: me,
+            dst,
+            seq,
+            body: Payload::Data(body),
+        });
+        if dup {
+            node.metrics.record_duplicate();
+            let _ = shared.nodes[dst.index()].inbound_tx.send(Envelope {
+                src: me,
+                dst,
+                seq,
+                body: Payload::Probe,
+            });
+        }
+        tx.unacked.insert(
+            (dst.0, seq),
+            Retained {
+                body: None,
+                bytes,
+                last_tx: now,
+                retries: 0,
+            },
+        );
+        Self::flush_holdback(&shared, me, tx, now);
+        true
+    }
+
+    fn flush_holdback(shared: &FabricShared<M>, me: NodeId, tx: &mut TxLossy<M>, now: Nanos) {
+        for (dst, seq, body, bytes) in std::mem::take(&mut tx.holdback) {
+            if !shared.nodes[dst.index()].closed.load(Ordering::Acquire) {
+                let _ = shared.nodes[dst.index()].inbound_tx.send(Envelope {
+                    src: me,
+                    dst,
+                    seq,
+                    body: Payload::Data(body),
+                });
+                tx.unacked.insert(
+                    (dst.0, seq),
+                    Retained {
+                        body: None,
+                        bytes,
+                        last_tx: now,
+                        retries: 0,
+                    },
+                );
+            } else {
+                tx.unacked.insert(
+                    (dst.0, seq),
+                    Retained {
+                        body: Some(body),
+                        bytes,
+                        last_tx: now,
+                        retries: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Non-blocking receive of the next fresh message for this node.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.shared.try_recv_at(self.id.index())
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        self.shared.recv_timeout_at(self.id.index(), timeout)
+    }
+
+    /// Messages queued for this node (including undrained protocol frames).
+    pub fn pending(&self) -> usize {
+        self.shared.nodes[self.id.index()].inbound_rx.len()
+    }
+
+    /// Collects acks and retransmits anything unacknowledged past the
+    /// retransmission timeout, using the endpoint's own clock. A no-op
+    /// under [`LinkPolicy::Reliable`].
+    pub fn pump_now(&mut self) {
+        if self.tx.is_some() {
+            let now = self.now();
+            self.pump_at(now);
+        }
+    }
+
+    /// [`FabricEndpoint::pump_now`] with an explicit clock reading.
+    pub fn pump_at(&mut self, now: Nanos) {
+        let me = self.id;
+        let shared = Arc::clone(&self.shared);
+        let Some(tx) = self.tx.as_mut() else {
+            return;
+        };
+        let (faults, recovery) = shared.cfg.faults().expect("lossy tx implies lossy policy");
+        Self::flush_holdback(&shared, me, tx, now);
+        // Acks first: they may clear entries that would otherwise expire.
+        // The acker is the destination of the original datagram, so
+        // `(acker, seq)` names the unacked entry exactly.
+        while let Some((acker, seq)) = shared.nodes[me.index()].acks.pop() {
+            tx.unacked.remove(&(acker.0, seq));
+        }
+        // Retransmissions.
+        let mut expired: Vec<(u32, u64)> = Vec::new();
+        for (&(dst, seq), out) in tx.unacked.iter_mut() {
+            if now.saturating_sub(out.last_tx) < recovery.rto {
+                continue;
+            }
+            if out.retries >= recovery.max_retries {
+                expired.push((dst, seq));
+                continue;
+            }
+            out.retries += 1;
+            out.last_tx = now;
+            let open = !shared.nodes[dst as usize].closed.load(Ordering::Acquire);
+            if out.body.is_none() {
+                // The datagram is physically queued at the receiver; only
+                // the ack is outstanding. Re-probe so a receiver that saw
+                // it re-acks; an unseen probe is harmless.
+                if open {
+                    let _ = shared.nodes[dst as usize].inbound_tx.send(Envelope {
+                        src: me,
+                        dst: NodeId(dst),
+                        seq,
+                        body: Payload::Probe,
+                    });
+                }
+                continue;
+            }
+            if !open || tx.rng.gen_bool(faults.drop_prob) {
+                // The retransmission was lost too; keep holding the body.
+                shared.nodes[me.index()].metrics.record_drop();
+                continue;
+            }
+            let body = out.body.take().expect("checked is_some");
+            shared.nodes[me.index()].metrics.record_send(out.bytes);
+            shared.nodes[me.index()].metrics.record_retransmission();
+            shared.link_msgs[shared.link(me.index(), dst as usize)].fetch_add(1, Ordering::Relaxed);
+            let _ = shared.nodes[dst as usize].inbound_tx.send(Envelope {
+                src: me,
+                dst: NodeId(dst),
+                seq,
+                body: Payload::Data(body),
+            });
+        }
+        for key in expired {
+            tx.unacked.remove(&key);
+            let dead = NodeId(key.0);
+            if !tx.dead_peers.contains(&dead) {
+                tx.dead_peers.push(dead);
+            }
+        }
+    }
+
+    /// Datagrams sent but not yet acknowledged (zero under the reliable
+    /// policy).
+    pub fn in_flight(&self) -> usize {
+        self.tx
+            .as_ref()
+            .map_or(0, |tx| tx.unacked.len() + tx.holdback.len())
+    }
+
+    /// Peers declared dead after exhausting retries. Cleared on read.
+    pub fn take_dead_peers(&mut self) -> Vec<NodeId> {
+        self.tx
+            .as_mut()
+            .map(|tx| std::mem::take(&mut tx.dead_peers))
+            .unwrap_or_default()
+    }
+
+    /// Pumps until every send has been acknowledged or `timeout` elapses.
+    /// Returns `true` on quiescence. Requires the receivers to keep
+    /// draining their queues.
+    pub fn quiesce(&mut self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        loop {
+            self.pump_now();
+            if self.in_flight() == 0 {
+                return true;
+            }
+            if start.elapsed() >= timeout {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Closes this node: subsequent sends to it report failure.
+    pub fn close(&self) {
+        self.shared.nodes[self.id.index()]
+            .closed
+            .store(true, Ordering::Release);
+    }
+}
+
+impl<M> Drop for FabricEndpoint<M> {
+    fn drop(&mut self) {
+        if self.shared.cfg.close_on_drop {
+            self.shared.nodes[self.id.index()]
+                .closed
+                .store(true, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time instantiation.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct VirtualInFlight<M> {
+    deliver_at: Nanos,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for VirtualInFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl<M> Eq for VirtualInFlight<M> {}
+impl<M> PartialOrd for VirtualInFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for VirtualInFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// The fabric's virtual-time instantiation: a single-owner network of `n`
+/// nodes where every message takes a caller-supplied latency and arrives
+/// exactly on time, in deterministic order (ties break by send order).
+///
+/// This is the transport under the discrete-event microsimulator: the
+/// latencies come from the simulator's [`LinkModel`]s, and the per-node
+/// send counters feed the same per-worker "messages sent" statistic the
+/// threaded engines read from their [`Fabric`] metrics.
+///
+/// [`LinkModel`]: ../../phish_sim/netmodel/struct.LinkModel.html
+#[derive(Debug)]
+pub struct VirtualFabric<M> {
+    nodes: usize,
+    in_flight: BinaryHeap<Reverse<VirtualInFlight<M>>>,
+    next_seq: u64,
+    metrics: NetMetrics,
+    sent_by: Vec<u64>,
+}
+
+impl<M> VirtualFabric<M> {
+    /// An empty network of `n` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
+            metrics: NetMetrics::new(),
+            sent_by: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Messages sent by `node`.
+    pub fn messages_sent_by(&self, node: usize) -> u64 {
+        self.sent_by[node]
+    }
+
+    /// Sends `body` from `src` to `dst` with an explicit wire size, to be
+    /// delivered at `now + latency`.
+    pub fn send_sized(
+        &mut self,
+        now: Nanos,
+        latency: Nanos,
+        src: NodeId,
+        dst: NodeId,
+        body: M,
+        bytes: usize,
+    ) {
+        assert!(src.index() < self.nodes && dst.index() < self.nodes);
+        self.metrics.record_send(bytes);
+        self.sent_by[src.index()] += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_flight.push(Reverse(VirtualInFlight {
+            deliver_at: now + latency,
+            seq,
+            env: Envelope {
+                src,
+                dst,
+                seq: 0,
+                body,
+            },
+        }));
+    }
+
+    /// Sends `body` from `src` to `dst`, to be delivered at
+    /// `now + latency`.
+    pub fn send(&mut self, now: Nanos, latency: Nanos, src: NodeId, dst: NodeId, body: M)
+    where
+        M: WireSized,
+    {
+        let bytes = body.wire_bytes();
+        self.send_sized(now, latency, src, dst, body, bytes);
+    }
+
+    /// Delivers every message due at or before `now`, in delivery order.
+    pub fn deliver_due(&mut self, now: Nanos) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(m) = self.in_flight.pop().expect("peeked");
+            self.metrics.record_delivery();
+            out.push(m.env);
+        }
+        out
+    }
+
+    /// The time the next message becomes due, if any.
+    pub fn next_due(&self) -> Option<Nanos> {
+        self.in_flight.peek().map(|Reverse(m)| m.deliver_at)
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize, cfg: FabricConfig) -> (Vec<FabricEndpoint<u64>>, FabricHandle<u64>) {
+        let fabric = Fabric::<u64>::new(n, cfg);
+        let handle = fabric.handle();
+        (fabric.into_endpoints(), handle)
+    }
+
+    // -- reliable policy ---------------------------------------------------
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (mut eps, _) = net(3, FabricConfig::reliable());
+        assert!(eps[0].send(NodeId(2), 42));
+        let env = eps[2].try_recv().expect("message should arrive");
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.dst, NodeId(2));
+        assert_eq!(env.body, 42);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let (mut eps, _) = net(1, FabricConfig::reliable());
+        assert!(eps[0].send(NodeId(0), 7));
+        assert_eq!(eps[0].try_recv().unwrap().body, 7);
+    }
+
+    #[test]
+    fn per_sender_ordering_is_preserved() {
+        let (mut eps, _) = net(2, FabricConfig::reliable());
+        for i in 0..100 {
+            eps[0].send(NodeId(1), i);
+        }
+        for i in 0..100 {
+            assert_eq!(eps[1].try_recv().unwrap().body, i);
+        }
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries_per_node() {
+        let (mut eps, handle) = net(2, FabricConfig::reliable());
+        eps[0].send(NodeId(1), 1);
+        eps[0].send(NodeId(1), 2);
+        eps[1].try_recv();
+        assert_eq!(handle.metrics_of(0).messages_sent, 2);
+        assert_eq!(handle.metrics_of(1).messages_sent, 0);
+        assert_eq!(handle.metrics_of(1).messages_delivered, 1);
+        assert_eq!(handle.total().messages_sent, 2);
+        assert_eq!(handle.link_messages(0, 1), 2);
+        assert_eq!(handle.link_messages(1, 0), 0);
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_reports_failure() {
+        let (mut eps, _) = net(2, FabricConfig::reliable());
+        let dead = eps.remove(1);
+        drop(dead);
+        assert!(!eps[0].send(NodeId(1), 5));
+    }
+
+    #[test]
+    fn keep_open_on_drop_keeps_receiving() {
+        let (mut eps, handle) = net(2, FabricConfig::reliable().keep_open_on_drop());
+        let retired = eps.remove(1);
+        drop(retired);
+        // The survivor adopts node 1's mailbox: sends still succeed and the
+        // handle can drain them from any thread.
+        assert!(eps[0].send(NodeId(1), 5));
+        assert_eq!(handle.try_recv_at(1).unwrap().body, 5);
+    }
+
+    #[test]
+    fn overhead_slows_sends() {
+        // 200µs of overhead across 20 sends must take at least 4ms total.
+        let cfg = FabricConfig::reliable().with_cost(SendCost::with_overhead(200_000));
+        let (mut eps, _) = net(2, cfg);
+        let start = Instant::now();
+        for i in 0..20 {
+            eps[0].send(NodeId(1), i);
+        }
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn cross_thread_send_receive() {
+        let (eps, _) = net(2, FabricConfig::reliable());
+        let mut it = eps.into_iter();
+        let mut a = it.next().unwrap();
+        let b = it.next().unwrap();
+        let t = std::thread::spawn(move || {
+            for i in 0..1000 {
+                a.send(NodeId(1), i);
+            }
+        });
+        let mut got = 0;
+        while got < 1000 {
+            if let Some(env) = b.recv_timeout(Duration::from_secs(5)) {
+                assert_eq!(env.body, got);
+                got += 1;
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn reclaimed_endpoint_reopens_node() {
+        let (mut eps, handle) = net(2, FabricConfig::reliable());
+        drop(eps.remove(1));
+        assert!(!eps[0].send(NodeId(1), 1), "closed after drop");
+        let fresh = handle.endpoint(1);
+        assert!(eps[0].send(NodeId(1), 2), "reclaimed slot must reopen");
+        assert_eq!(fresh.try_recv().unwrap().body, 2);
+    }
+
+    // -- lossy policy ------------------------------------------------------
+
+    /// A payload that cannot be cloned, like the boxed `FnOnce` task
+    /// bodies the engines migrate: proves the retransmission protocol
+    /// never needs `Clone`.
+    #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct NoClone(u64);
+
+    impl WireSized for NoClone {
+        fn wire_bytes(&self) -> usize {
+            crate::message::HEADER_BYTES + 8
+        }
+    }
+
+    fn lossy_pair(faults: LossyConfig) -> (Vec<FabricEndpoint<NoClone>>, FabricHandle<NoClone>) {
+        let cfg = FabricConfig::lossy(faults).with_recovery(ReliableConfig {
+            rto: 10,
+            max_retries: 100_000,
+        });
+        let fabric = Fabric::<NoClone>::new(2, cfg);
+        let handle = fabric.handle();
+        (fabric.into_endpoints(), handle)
+    }
+
+    /// Drive both ends on a manual clock until quiescent, collecting
+    /// deliveries everywhere.
+    fn settle(eps: &mut [FabricEndpoint<NoClone>]) -> Vec<u64> {
+        let mut got = Vec::new();
+        let mut now = 0;
+        for _ in 0..200_000 {
+            now += 11; // always past the tiny RTO
+            for ep in eps.iter_mut() {
+                ep.pump_at(now);
+            }
+            for ep in eps.iter() {
+                while let Some(env) = ep.try_recv() {
+                    got.push(env.body.0);
+                }
+            }
+            if eps.iter().all(|e| e.in_flight() == 0) {
+                break;
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn exactly_once_under_heavy_loss_without_clone() {
+        let (mut eps, _) = lossy_pair(LossyConfig {
+            drop_prob: 0.4,
+            dup_prob: 0.2,
+            reorder_prob: 0.2,
+            seed: 42,
+        });
+        for i in 0..200 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+        }
+        let mut got = settle(&mut eps);
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>(), "exactly-once violated");
+    }
+
+    #[test]
+    fn bidirectional_traffic_under_faults() {
+        let (mut eps, _) = lossy_pair(LossyConfig::nasty(7));
+        for i in 0..50 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+            eps[1].send_at(NodeId(0), NoClone(1000 + i), 0);
+        }
+        let mut got = settle(&mut eps);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = (0..50).chain(1000..1050).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn retransmissions_counted() {
+        let (mut eps, handle) = lossy_pair(LossyConfig::dropping(0.5, 21));
+        for i in 0..100 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+        }
+        settle(&mut eps);
+        let snap = handle.metrics_of(0);
+        assert!(snap.retransmissions > 0, "50% loss must retransmit");
+        assert!(snap.messages_dropped > 0);
+    }
+
+    #[test]
+    fn raw_loss_rate_without_recovery() {
+        // Before any pump, a 30% drop roll keeps ~30% of sends out of the
+        // destination queue: the fault injector itself is honest.
+        let (mut eps, _) = lossy_pair(LossyConfig::dropping(0.3, 9));
+        for i in 0..2000 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+        }
+        let mut n = 0;
+        while eps[1].try_recv().is_some() {
+            n += 1;
+        }
+        assert!((1200..=1600).contains(&n), "delivered {n}/2000 at 30% loss");
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_deduplicated() {
+        let (mut eps, handle) = lossy_pair(LossyConfig {
+            drop_prob: 0.0,
+            dup_prob: 0.5,
+            reorder_prob: 0.0,
+            seed: 11,
+        });
+        for i in 0..200 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+        }
+        let mut got = settle(&mut eps);
+        assert!(
+            handle.metrics_of(0).messages_duplicated > 40,
+            "duplicates must be injected"
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>(), "dedup failed");
+    }
+
+    #[test]
+    fn reordering_inverts_neighbours() {
+        let (mut eps, _) = lossy_pair(LossyConfig {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.3,
+            seed: 13,
+        });
+        for i in 0..500 {
+            eps[0].send_at(NodeId(1), NoClone(i), 0);
+        }
+        eps[0].pump_at(0); // flush the final holdback
+        let mut got = Vec::new();
+        while let Some(env) = eps[1].try_recv() {
+            got.push(env.body.0);
+        }
+        assert_eq!(got.len(), 500, "reordering must not lose messages");
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "at least one inversion expected at 30% reorder"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let run = || {
+            let (mut eps, _) = lossy_pair(LossyConfig::nasty(99));
+            for i in 0..300 {
+                eps[0].send_at(NodeId(1), NoClone(i), 0);
+            }
+            eps[0].pump_at(0);
+            let mut got = Vec::new();
+            while let Some(env) = eps[1].try_recv() {
+                got.push(env.body.0);
+            }
+            got
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dead_peer_detected_after_max_retries() {
+        let cfg = FabricConfig::lossy(LossyConfig::perfect(1)).with_recovery(ReliableConfig {
+            rto: 10,
+            max_retries: 3,
+        });
+        let fabric = Fabric::<NoClone>::new(2, cfg);
+        let mut eps = fabric.into_endpoints();
+        drop(eps.remove(1)); // peer crashes
+        let mut a = eps.remove(0);
+        a.send_at(NodeId(1), NoClone(9), 0);
+        let mut now = 0;
+        for _ in 0..10 {
+            now += 11;
+            a.pump_at(now);
+        }
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.take_dead_peers(), vec![NodeId(1)]);
+        assert!(a.take_dead_peers().is_empty(), "cleared on read");
+    }
+
+    #[test]
+    fn quiesce_settles_a_real_clock_flow() {
+        let cfg = FabricConfig::lossy(LossyConfig::dropping(0.3, 5));
+        let fabric = Fabric::<u64>::new(2, cfg);
+        let eps = fabric.into_endpoints();
+        let mut it = eps.into_iter();
+        let mut a = it.next().unwrap();
+        let b = it.next().unwrap();
+        for i in 0..50 {
+            a.send(NodeId(1), i);
+        }
+        let drainer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < 50 {
+                if let Some(env) = b.recv_timeout(Duration::from_millis(5)) {
+                    got.push(env.body);
+                }
+            }
+            got
+        });
+        assert!(a.quiesce(Duration::from_secs(10)), "flow must quiesce");
+        let mut got = drainer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    // -- virtual-time instantiation ---------------------------------------
+
+    #[test]
+    fn virtual_messages_arrive_exactly_on_time() {
+        let mut net: VirtualFabric<u64> = VirtualFabric::new(2);
+        net.send(0, 100, NodeId(0), NodeId(1), 7);
+        assert!(net.deliver_due(99).is_empty());
+        let due = net.deliver_due(100);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].body, 7);
+        assert_eq!(due[0].src, NodeId(0));
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.messages_sent_by(0), 1);
+        assert_eq!(net.messages_sent_by(1), 0);
+    }
+
+    #[test]
+    fn virtual_delivery_order_is_by_time_then_send_order() {
+        let mut net: VirtualFabric<u64> = VirtualFabric::new(2);
+        net.send(0, 300, NodeId(0), NodeId(1), 1); // due 300
+        net.send(0, 100, NodeId(0), NodeId(1), 2); // due 100
+        net.send(0, 100, NodeId(1), NodeId(0), 3); // due 100, sent after
+        let due = net.deliver_due(1000);
+        let bodies: Vec<u64> = due.iter().map(|e| e.body).collect();
+        assert_eq!(bodies, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn virtual_next_due_drives_a_clock() {
+        let mut net: VirtualFabric<u64> = VirtualFabric::new(2);
+        net.send(0, 50, NodeId(0), NodeId(1), 1);
+        net.send(0, 200, NodeId(0), NodeId(1), 2);
+        let mut now = 0;
+        let mut got = Vec::new();
+        while let Some(due) = net.next_due() {
+            now = due;
+            got.extend(net.deliver_due(now).into_iter().map(|e| e.body));
+        }
+        assert_eq!(now, 200);
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn virtual_out_of_range_node_rejected() {
+        let mut net: VirtualFabric<u64> = VirtualFabric::new(1);
+        net.send(0, 1, NodeId(0), NodeId(5), 9);
+    }
+}

@@ -9,23 +9,26 @@
 //! reordering that raw datagrams exhibit.
 //!
 //! This crate provides the equivalent substrate for an in-process
-//! reproduction:
+//! reproduction, unified behind one abstraction:
 //!
-//! * [`channel`] — a reliable, ordered in-process transport built on
-//!   crossbeam channels, with a configurable per-message **software
-//!   overhead** so that the cost structure of a workstation LAN (where
-//!   sending a message costs two orders of magnitude more than on a
-//!   supercomputer interconnect) can be injected and varied.
-//! * [`lossy`] — a deterministic fault-injecting wrapper that drops,
-//!   duplicates, and reorders messages under a seeded RNG, standing in for
-//!   raw UDP behaviour.
-//! * [`reliable`] — an acknowledgement/retransmission/deduplication layer
-//!   that recovers exactly-once delivery on top of the lossy transport,
-//!   mirroring what the Phish runtime layered over UDP.
+//! * [`fabric`] — the message fabric every layer sends through. A
+//!   [`Fabric`] is a fully-connected network of dense-id nodes with a
+//!   configurable per-message **software overhead** (the cost structure of
+//!   a workstation LAN, where sending a message costs two orders of
+//!   magnitude more than on a supercomputer interconnect) and a pluggable
+//!   [`LinkPolicy`]: reliable in-process channels, or lossy datagrams with
+//!   seeded drop/duplicate/reorder faults recovered to exactly-once
+//!   delivery by an ack/retransmission/deduplication protocol — what the
+//!   Phish runtime layered over raw UDP. [`VirtualFabric`] is the same
+//!   fabric on a virtual clock, carrying the discrete-event simulator's
+//!   traffic with exact, deterministic latencies.
+//! * [`rpc`] — typed request/reply servers and split-phase clients over
+//!   fabric endpoints (the PhishJobQ and Clearinghouse shape).
 //! * [`splitphase`] — request/reply correlation so callers can issue an RPC
 //!   and continue working until the reply arrives.
 //! * [`metrics`] — message and byte counters; Table 2 of the paper reports
-//!   "messages sent" and these counters are its source of truth.
+//!   "messages sent" and the fabric's per-node/per-link counters are its
+//!   sole source of truth.
 //! * [`time`] — a nanosecond clock abstraction with both a real
 //!   (monotonic) implementation and a manually-advanced one for
 //!   deterministic tests.
@@ -34,23 +37,23 @@
 //! byte-level wire format: the scheduling algorithms under study observe
 //! message *counts* and *costs*, not encodings. Types that want to
 //! participate in bandwidth modelling implement [`message::WireSized`].
+//! Notably, the lossy policy does **not** require `M: Clone` — loss is
+//! simulated by retaining the owned body for retransmission — so even the
+//! engines' non-clonable boxed task closures can ride a faulty link.
 
-pub mod channel;
-pub mod delayed;
-pub mod lossy;
+pub mod fabric;
 pub mod message;
 pub mod metrics;
-pub mod reliable;
 pub mod rpc;
 pub mod splitphase;
 pub mod time;
 
-pub use channel::{ChannelNet, Endpoint, SendCost};
-pub use delayed::DelayedNet;
-pub use lossy::{LossyConfig, LossyEndpoint};
+pub use fabric::{
+    Fabric, FabricConfig, FabricEndpoint, FabricHandle, LinkPolicy, LossyConfig, ReliableConfig,
+    SendCost, VirtualFabric,
+};
 pub use message::{Envelope, NodeId, WireSized};
-pub use metrics::NetMetrics;
-pub use reliable::{ReliableConfig, ReliableEndpoint};
+pub use metrics::{NetMetrics, NetSnapshot};
 pub use rpc::{RpcClient, RpcFrame, RpcServer};
 pub use splitphase::{RequestId, SplitPhase};
 pub use time::{Clock, ManualClock, Nanos, RealClock};

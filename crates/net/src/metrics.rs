@@ -26,8 +26,9 @@ pub struct NetSnapshot {
     pub messages_sent: u64,
     /// Approximate bytes handed to the transport by senders.
     pub bytes_sent: u64,
-    /// Messages that reached a receiver (once per delivery; duplicates that
-    /// arrive count again here, deduplication happens above).
+    /// Application messages handed to a receiver — exactly once per
+    /// message under the fabric's lossy policy (duplicates are filtered
+    /// by the receive protocol before this counter).
     pub messages_delivered: u64,
     /// Messages the lossy layer discarded.
     pub messages_dropped: u64,

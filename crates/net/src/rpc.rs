@@ -7,11 +7,16 @@
 //! request, keep working, collect the reply when it lands — with a
 //! blocking convenience wrapper for daemon-style callers like the
 //! PhishJobManager.
+//!
+//! Both halves ride [`crate::fabric::FabricEndpoint`]s, so an RPC service
+//! runs unchanged over reliable channels or over lossy datagrams with
+//! recovery — pumping the fabric's protocol is folded into the client's
+//! [`RpcClient::pump`] and the server's [`RpcServer::serve_once`].
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use crate::channel::Endpoint;
+use crate::fabric::FabricEndpoint;
 use crate::message::{NodeId, WireSized, HEADER_BYTES};
 use crate::splitphase::{RequestId, SplitPhase};
 
@@ -56,7 +61,7 @@ impl<T> WireSized for Unsized<T> {
 
 /// The client half: split-phase calls with a blocking convenience.
 pub struct RpcClient<Req, Resp> {
-    endpoint: Endpoint<RpcFrame<Req, Resp>>,
+    endpoint: FabricEndpoint<RpcFrame<Req, Resp>>,
     pending: SplitPhase<Resp>,
     /// Wire-id → split-phase id (they are allocated in lockstep, but keep
     /// the map explicit so ids stay opaque).
@@ -70,7 +75,7 @@ where
     Resp: Send + WireSized,
 {
     /// Wraps an endpoint as an RPC client.
-    pub fn new(endpoint: Endpoint<RpcFrame<Req, Resp>>) -> Self {
+    pub fn new(endpoint: FabricEndpoint<RpcFrame<Req, Resp>>) -> Self {
         Self {
             endpoint,
             pending: SplitPhase::new(),
@@ -96,9 +101,10 @@ where
         req_id
     }
 
-    /// Drains arrived replies into the pending table. Returns how many
-    /// replies landed.
+    /// Drains arrived replies into the pending table and drives the
+    /// fabric's recovery protocol. Returns how many replies landed.
     pub fn pump(&mut self) -> usize {
+        self.endpoint.pump_now();
         let mut n = 0;
         while let Some(env) = self.endpoint.try_recv() {
             if let RpcFrame::Reply { id, body } = env.body {
@@ -149,7 +155,7 @@ where
 
 /// The server half: a handler over incoming requests.
 pub struct RpcServer<Req, Resp> {
-    endpoint: Endpoint<RpcFrame<Req, Resp>>,
+    endpoint: FabricEndpoint<RpcFrame<Req, Resp>>,
     served: u64,
 }
 
@@ -159,7 +165,7 @@ where
     Resp: Send + WireSized,
 {
     /// Wraps an endpoint as an RPC server.
-    pub fn new(endpoint: Endpoint<RpcFrame<Req, Resp>>) -> Self {
+    pub fn new(endpoint: FabricEndpoint<RpcFrame<Req, Resp>>) -> Self {
         Self {
             endpoint,
             served: 0,
@@ -183,6 +189,7 @@ where
         timeout: Duration,
         handler: &mut dyn FnMut(NodeId, Req) -> Resp,
     ) -> bool {
+        self.endpoint.pump_now();
         let Some(env) = self.endpoint.recv_timeout(timeout) else {
             return false;
         };
@@ -215,18 +222,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{ChannelNet, SendCost};
+    use crate::fabric::{Fabric, FabricConfig, LossyConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     type Frame = RpcFrame<u64, u64>;
 
-    fn pair() -> (RpcClient<u64, u64>, RpcServer<u64, u64>) {
-        let eps = ChannelNet::<Frame>::new(2, SendCost::FREE).into_endpoints();
+    fn pair_over(cfg: FabricConfig) -> (RpcClient<u64, u64>, RpcServer<u64, u64>) {
+        let eps = Fabric::<Frame>::new(2, cfg).into_endpoints();
         let mut it = eps.into_iter();
         let client = RpcClient::new(it.next().unwrap());
         let server = RpcServer::new(it.next().unwrap());
         (client, server)
+    }
+
+    fn pair() -> (RpcClient<u64, u64>, RpcServer<u64, u64>) {
+        pair_over(FabricConfig::reliable())
     }
 
     #[test]
@@ -283,8 +294,32 @@ mod tests {
     }
 
     #[test]
+    fn blocking_calls_survive_a_lossy_link() {
+        // The same client/server pair over 20% drop + duplication +
+        // reordering: recovery is the fabric's job, not the RPC layer's.
+        let (mut client, mut server) = pair_over(FabricConfig::lossy(LossyConfig {
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            reorder_prob: 0.1,
+            seed: 0xFACE,
+        }));
+        let t = std::thread::spawn(move || {
+            let mut doubler = |_, x: u64| x * 2;
+            for _ in 0..20 {
+                while !server.serve_once(Duration::from_millis(1), &mut doubler) {}
+            }
+            server.served()
+        });
+        for i in 1..=20u64 {
+            let resp = client.call_blocking(NodeId(1), i, Duration::from_secs(30));
+            assert_eq!(resp, Some(i * 2), "call {i} lost over lossy link");
+        }
+        assert_eq!(t.join().unwrap(), 20);
+    }
+
+    #[test]
     fn serve_until_stops_on_flag() {
-        let eps = ChannelNet::<Frame>::new(2, SendCost::FREE).into_endpoints();
+        let eps = Fabric::<Frame>::new(2, FabricConfig::reliable()).into_endpoints();
         let mut it = eps.into_iter();
         let mut client = RpcClient::new(it.next().unwrap());
         let mut server = RpcServer::new(it.next().unwrap());
@@ -312,7 +347,7 @@ mod tests {
 
     #[test]
     fn many_clients_one_server() {
-        let eps = ChannelNet::<Frame>::new(4, SendCost::FREE).into_endpoints();
+        let eps = Fabric::<Frame>::new(4, FabricConfig::reliable()).into_endpoints();
         let mut it = eps.into_iter();
         let clients: Vec<_> = (0..3).map(|_| RpcClient::new(it.next().unwrap())).collect();
         let mut server = RpcServer::new(it.next().unwrap());

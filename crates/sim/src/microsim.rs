@@ -19,17 +19,26 @@
 //! accounting. Each simulated worker owns a decorrelated RNG stream seeded
 //! exactly like the threaded engines' workers.
 //!
+//! All inter-worker traffic rides a [`VirtualFabric`] — the same fabric
+//! abstraction the threaded engines use, instantiated over virtual time.
+//! A steal is a real message exchange: the thief's `StealRequest` travels
+//! one way, the victim pops its deque on arrival and answers with a
+//! `StealGrant` (carrying the task) or a `StealDeny`, and a granted thief
+//! immediately charges the eventual result-return message, approximating
+//! the non-local synchronization traffic of Table 2. Per-worker message
+//! counts are read back from the fabric's counters, never hand-tallied.
+//!
 //! Model notes (documented deviations, all second-order for the measured
-//! curves): a steal attempt resolves atomically at the thief after one
-//! round trip — the victim-side pop is not separately timed; task results
-//! are charged one message per stolen subtree completion, approximating the
-//! non-local synchronization traffic of Table 2.
+//! curves): the victim answers a steal request instantly on arrival (its
+//! own busy time is not charged), and the result-return message is charged
+//! at grant time rather than at stolen-subtree completion.
 
 use std::collections::VecDeque;
 
 use phish_core::kernel::{KernelCtl, SpecSink, SpecWorkload, Workload};
 use phish_core::{JobStats, SpecStep, SpecTask, VictimPolicy};
 use phish_net::time::Nanos;
+use phish_net::{NodeId, VirtualFabric};
 
 use crate::events::EventQueue;
 use crate::netmodel::Topology;
@@ -161,8 +170,21 @@ impl<S: SpecTask> SpecTask for ScaleCost<S> {
 enum Ev {
     /// Worker finishes its current task.
     Finish { worker: usize },
-    /// A steal attempt by `thief` against `victim` resolves.
-    StealResolve { thief: usize, victim: usize },
+    /// One or more fabric messages come due for delivery.
+    NetDeliver,
+}
+
+/// The microsim's wire protocol, carried by the [`VirtualFabric`].
+#[derive(Debug)]
+enum MicroMsg<S> {
+    /// A thief asks a victim for its oldest task.
+    StealRequest,
+    /// The victim hands over a task (FIFO end of its deque).
+    StealGrant { spec: S },
+    /// The victim's deque was empty.
+    StealDeny,
+    /// Result of a stolen subtree returning home (accounting only).
+    Result,
 }
 
 struct WorkerState<S> {
@@ -208,6 +230,7 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
     let p = cfg.topology.workers();
     assert!(p >= 1, "need at least one worker");
     let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut net: VirtualFabric<MicroMsg<S>> = VirtualFabric::new(p);
     let mut workers: Vec<WorkerState<S>> = (0..p)
         .map(|w| WorkerState {
             deque: VecDeque::new(),
@@ -226,7 +249,7 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
     // Seed: root on worker 0; everyone else immediately turns thief.
     workers[0].deque.push_back(root);
     for w in 0..p {
-        start_or_steal(w, &mut workers, &mut q, cfg);
+        start_or_steal(w, &mut workers, &mut q, &mut net, cfg);
     }
 
     while let Some((now, ev)) = q.pop() {
@@ -251,35 +274,19 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
                     completion_ns = now;
                     break;
                 }
-                start_or_steal(worker, &mut workers, &mut q, cfg);
+                start_or_steal(worker, &mut workers, &mut q, &mut net, cfg);
             }
-            Ev::StealResolve { thief, victim } => {
-                if workers[thief].busy {
-                    // Stale event (should not happen, but harmless).
-                    continue;
-                }
-                // FIFO steal: oldest task, front of the victim's deque.
-                if let Some(spec) = workers[victim].deque.pop_front() {
-                    workers[thief].ctl.note_steal_success(victim);
-                    workers[thief].local_failures = 0;
-                    let crossing = !cfg.topology.same_cluster(thief, victim);
-                    if crossing {
-                        inter_cluster_steals += 1;
-                        // Request + reply-with-task + eventual result return.
-                        inter_cluster_bytes += 3 * cfg.msg_bytes as u64;
-                    }
-                    // Result-return message charged up front (bookkeeping
-                    // only; virtual time charges land in the RTT already
-                    // paid).
-                    workers[thief].ctl.stats.messages_sent += 1;
-                    workers[thief].deque.push_back(spec);
-                    start_task(thief, &mut workers, &mut q, cfg);
-                } else {
-                    workers[thief].ctl.note_steal_fail(victim);
-                    if cfg.topology.same_cluster(thief, victim) {
-                        workers[thief].local_failures += 1;
-                    }
-                    schedule_steal(thief, &mut workers, &mut q, cfg);
+            Ev::NetDeliver => {
+                for env in net.deliver_due(now) {
+                    handle_delivery(
+                        env,
+                        &mut workers,
+                        &mut q,
+                        &mut net,
+                        cfg,
+                        &mut inter_cluster_steals,
+                        &mut inter_cluster_bytes,
+                    );
                 }
             }
         }
@@ -288,6 +295,10 @@ pub fn run_microsim<S: SpecTask>(cfg: &MicroSimConfig, root: S) -> (S::Output, M
         completion_ns = q.now();
     }
     assert_eq!(outstanding, 0, "simulation drained without finishing");
+    // Satellite rule: message counts come from the fabric, nowhere else.
+    for (w, ws) in workers.iter_mut().enumerate() {
+        ws.ctl.stats.messages_sent = net.messages_sent_by(w);
+    }
     let per_worker = workers.iter().map(|w| w.ctl.stats).collect();
     let report = MicroReport {
         completion_ns,
@@ -302,12 +313,89 @@ fn start_or_steal<S: SpecTask>(
     worker: usize,
     workers: &mut [WorkerState<S>],
     q: &mut EventQueue<Ev>,
+    net: &mut VirtualFabric<MicroMsg<S>>,
     cfg: &MicroSimConfig,
 ) {
     if workers[worker].deque.is_empty() {
-        schedule_steal(worker, workers, q, cfg);
+        schedule_steal(worker, workers, q, net, cfg);
     } else {
         start_task(worker, workers, q, cfg);
+    }
+}
+
+/// Puts one protocol message on the fabric and books its delivery event.
+fn send_msg<S: SpecTask>(
+    q: &mut EventQueue<Ev>,
+    net: &mut VirtualFabric<MicroMsg<S>>,
+    cfg: &MicroSimConfig,
+    src: usize,
+    dst: usize,
+    body: MicroMsg<S>,
+) {
+    let latency = cfg.topology.link(src, dst).transfer_time(cfg.msg_bytes);
+    net.send_sized(
+        q.now(),
+        latency,
+        NodeId(src as u32),
+        NodeId(dst as u32),
+        body,
+        cfg.msg_bytes,
+    );
+    q.schedule_in(latency, Ev::NetDeliver);
+}
+
+/// Delivers one fabric message: victims answer steal requests, thieves act
+/// on grants and denials.
+#[allow(clippy::too_many_arguments)]
+fn handle_delivery<S: SpecTask>(
+    env: phish_net::Envelope<MicroMsg<S>>,
+    workers: &mut [WorkerState<S>],
+    q: &mut EventQueue<Ev>,
+    net: &mut VirtualFabric<MicroMsg<S>>,
+    cfg: &MicroSimConfig,
+    inter_cluster_steals: &mut u64,
+    inter_cluster_bytes: &mut u64,
+) {
+    let (src, dst) = (env.src.index(), env.dst.index());
+    match env.body {
+        MicroMsg::StealRequest => {
+            // FIFO steal: oldest task, front of the victim's deque. The
+            // victim answers on arrival; its reply rides the same link
+            // back, completing the thief-observed round trip.
+            let reply = match workers[dst].deque.pop_front() {
+                Some(spec) => MicroMsg::StealGrant { spec },
+                None => MicroMsg::StealDeny,
+            };
+            send_msg(q, net, cfg, dst, src, reply);
+        }
+        MicroMsg::StealGrant { spec } => {
+            let (thief, victim) = (dst, src);
+            debug_assert!(!workers[thief].busy, "grant delivered to a busy thief");
+            workers[thief].ctl.note_steal_success(victim);
+            workers[thief].local_failures = 0;
+            if !cfg.topology.same_cluster(thief, victim) {
+                *inter_cluster_steals += 1;
+                // Request + reply-with-task + eventual result return.
+                *inter_cluster_bytes += 3 * cfg.msg_bytes as u64;
+            }
+            // Result-return message charged up front (bookkeeping only;
+            // virtual time charges land in the RTT already paid).
+            send_msg(q, net, cfg, thief, victim, MicroMsg::Result);
+            workers[thief].deque.push_back(spec);
+            start_task(thief, workers, q, cfg);
+        }
+        MicroMsg::StealDeny => {
+            let (thief, victim) = (dst, src);
+            workers[thief].ctl.note_steal_fail(victim);
+            if cfg.topology.same_cluster(thief, victim) {
+                workers[thief].local_failures += 1;
+            }
+            schedule_steal(thief, workers, q, net, cfg);
+        }
+        MicroMsg::Result => {
+            // The stolen subtree's result arriving home: traffic already
+            // counted at send time, nothing to schedule.
+        }
     }
 }
 
@@ -333,6 +421,7 @@ fn schedule_steal<S: SpecTask>(
     thief: usize,
     workers: &mut [WorkerState<S>],
     q: &mut EventQueue<Ev>,
+    net: &mut VirtualFabric<MicroMsg<S>>,
     cfg: &MicroSimConfig,
 ) {
     let p = cfg.topology.workers();
@@ -344,9 +433,7 @@ fn schedule_steal<S: SpecTask>(
         .ctl
         .choose_victim(&candidates)
         .expect("p > 1 guarantees candidates");
-    let rtt = cfg.topology.link(thief, victim).round_trip(cfg.msg_bytes);
-    workers[thief].ctl.stats.messages_sent += 2; // request + reply
-    q.schedule_in(rtt, Ev::StealResolve { thief, victim });
+    send_msg(q, net, cfg, thief, victim, MicroMsg::StealRequest);
 }
 
 /// The substrate side of victim selection: which workers are eligible.

@@ -1,14 +1,11 @@
-/root/repo/target/debug/deps/phish_net-5e5edc79357c490e.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/delayed.rs crates/net/src/lossy.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/reliable.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/phish_net-5e5edc79357c490e.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libphish_net-5e5edc79357c490e.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/delayed.rs crates/net/src/lossy.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/reliable.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libphish_net-5e5edc79357c490e.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
 
 crates/net/src/lib.rs:
-crates/net/src/channel.rs:
-crates/net/src/delayed.rs:
-crates/net/src/lossy.rs:
+crates/net/src/fabric.rs:
 crates/net/src/message.rs:
 crates/net/src/metrics.rs:
-crates/net/src/reliable.rs:
 crates/net/src/rpc.rs:
 crates/net/src/splitphase.rs:
 crates/net/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport-b2b4a67c8c7ab85d.d: crates/bench/benches/transport.rs
+
+/root/repo/target/release/deps/transport-b2b4a67c8c7ab85d: crates/bench/benches/transport.rs
+
+crates/bench/benches/transport.rs:

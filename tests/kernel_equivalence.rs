@@ -12,6 +12,7 @@ use proptest::prelude::*;
 use phish::apps::pfold::{pfold_serial, pfold_task, PfoldSpec};
 use phish::apps::{fib_serial, fib_task, nqueens_serial, nqueens_task, FibSpec, NQueensSpec};
 use phish::ft::{CrashPlan, FtConfig, RecoveringEngine};
+use phish::net::LossyConfig;
 use phish::scheduler::{count_tasks, Cont, Engine, SchedulerConfig, SpecEngine, SpecTask};
 use phish::sim::{run_microsim, MicroSimConfig};
 
@@ -90,6 +91,91 @@ proptest! {
         let (cps, _) = Engine::run(cfg, pfold_task(n, depth, Cont::ROOT));
         prop_assert_eq!(&cps, &expect);
         assert_spec_engines_agree(PfoldSpec::new(n, depth), &expect, workers, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Equivalence must also hold when every inter-node message rides a
+    /// *faulty* datagram fabric: with ≥10% drop plus duplication and
+    /// reordering, the recovery protocol still delivers the steals,
+    /// adoptions, and heartbeats exactly once, so both threaded
+    /// message-passing engines keep computing the serial answer — and the
+    /// crash-free RecoveringEngine still steps every spec node exactly
+    /// once.
+    #[test]
+    fn lossy_fabric_preserves_equivalence(
+        n in 5u64..13,
+        workers in 2usize..=4,
+        seed in any::<u64>(),
+        drop_prob in 0.10f64..0.25,
+        dup_prob in 0.0f64..0.15,
+        reorder_prob in 0.0f64..0.15,
+    ) {
+        let expect = fib_serial(n);
+        let faults = LossyConfig {
+            drop_prob,
+            dup_prob,
+            reorder_prob,
+            seed: seed ^ 0xFAB,
+        };
+
+        // CPS engine: message-protocol steals and non-local synchs over
+        // the faulty fabric.
+        let cfg = SchedulerConfig::paper_distributed(workers)
+            .with_seed(seed)
+            .with_link_faults(faults);
+        let (cps, _) = Engine::run(cfg, fib_task(n, Cont::ROOT));
+        prop_assert_eq!(cps, expect);
+
+        // RecoveringEngine crash-free over the same fault schedule:
+        // exact result AND exact task count.
+        let tasks = count_tasks(FibSpec { n });
+        let ft_cfg = FtConfig {
+            seed,
+            link_faults: Some(faults),
+            ..FtConfig::fast(workers)
+        };
+        let (ft_out, report) = RecoveringEngine::run(&ft_cfg, FibSpec { n }, &CrashPlan::none());
+        prop_assert_eq!(ft_out, expect);
+        prop_assert_eq!(report.stats.tasks_executed, tasks);
+        prop_assert_eq!(report.crashes, 0);
+    }
+
+    /// Same property on the irregular pfold tree (uneven fan-out, the
+    /// paper's own application).
+    #[test]
+    fn lossy_fabric_pfold_agrees(
+        n in 2usize..7,
+        depth in 1usize..4,
+        workers in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let expect = pfold_serial(n);
+        let faults = LossyConfig {
+            drop_prob: 0.15,
+            dup_prob: 0.10,
+            reorder_prob: 0.10,
+            seed: seed ^ 0xF01D,
+        };
+        let cfg = SchedulerConfig::paper_distributed(workers)
+            .with_seed(seed)
+            .with_link_faults(faults);
+        let (cps, _) = Engine::run(cfg, pfold_task(n, depth, Cont::ROOT));
+        prop_assert_eq!(&cps, &expect);
+
+        let tasks = count_tasks(PfoldSpec::new(n, depth));
+        let ft_cfg = FtConfig {
+            seed,
+            link_faults: Some(faults),
+            ..FtConfig::fast(workers)
+        };
+        let (ft_out, report) =
+            RecoveringEngine::run(&ft_cfg, PfoldSpec::new(n, depth), &CrashPlan::none());
+        prop_assert_eq!(&ft_out, &expect);
+        prop_assert_eq!(report.stats.tasks_executed, tasks);
+        prop_assert_eq!(report.crashes, 0);
     }
 }
 

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use phish::apps::pfold::{count_walks, pfold_serial, PfoldSpec};
 use phish::machine::{AssignPolicy, ClearinghouseService, JobQService, JobSpec};
+use phish::net::{FabricConfig, LossyConfig};
 use phish::scheduler::run_serial;
 
 const T: Duration = Duration::from_secs(30);
@@ -71,6 +72,77 @@ fn full_rpc_pipeline_with_real_work() {
     assert_eq!(stats.registrations, workers as u64);
     assert_eq!(stats.unregistrations, workers as u64);
     assert_eq!(output.len(), workers, "every participant logged its exit");
+}
+
+#[test]
+fn full_rpc_pipeline_survives_lossy_links() {
+    // The same Figure 2/3 pipeline, but every RPC — job requests, roster
+    // registration, output lines, completion — rides a datagram fabric
+    // that drops, duplicates, and reorders. The recovery protocol makes
+    // the protocol exact anyway.
+    let workers = 3;
+    let faults = |seed| LossyConfig {
+        drop_prob: 0.15,
+        dup_prob: 0.08,
+        reorder_prob: 0.10,
+        seed,
+    };
+    let mut jobq = JobQService::start_with(
+        AssignPolicy::RoundRobin,
+        workers + 1,
+        FabricConfig::lossy(faults(0x10B0)),
+    );
+    let mut ch = ClearinghouseService::start_with(
+        workers,
+        Duration::from_secs(120),
+        FabricConfig::lossy(faults(0xC1EA)),
+    );
+
+    let mut user = jobq.take_client(workers);
+    let job = user
+        .submit(JobSpec::named("pfold 9"), T)
+        .expect("submission");
+    let pool = Arc::new(phish::SpecPoolJob::new(PfoldSpec::new(9, 5)));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let mut jq = jobq.take_client(i);
+            let mut chc = ch.take_client(i);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let assignment = jq.request_job(T).expect("assignment");
+                assert_eq!(assignment.name, "pfold 9");
+                let roster = chc.register(T).expect("roster");
+                assert!(!roster.participants.is_empty());
+                let evict = std::sync::atomic::AtomicBool::new(false);
+                use phish::machine::WorkerBody;
+                let exit = pool.run(i, &evict);
+                chc.write_line(format!("exit: {exit:?}"), T);
+                chc.unregister(T);
+                jq.release(assignment.job, T);
+                exit
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(user.complete(job, T));
+    assert!(pool.is_done());
+    let hist = pool.take_result();
+    assert_eq!(hist, pfold_serial(9), "lossy RPC pipeline must be exact");
+
+    let final_q = jobq.shutdown();
+    assert!(final_q.is_empty());
+    let (stats, output) = ch.shutdown();
+    assert_eq!(stats.registrations, workers as u64);
+    assert_eq!(stats.unregistrations, workers as u64);
+    assert_eq!(
+        output.len(),
+        workers,
+        "every exit line delivered exactly once"
+    );
 }
 
 #[test]

@@ -1,24 +1,27 @@
-//! Property tests of the datagram substrate: exactly-once delivery must
-//! survive arbitrary loss/duplication/reordering schedules — the property
-//! the Phish runtime relied on when it layered its protocol over UDP/IP.
+//! Property tests of the fabric's datagram recovery: exactly-once delivery
+//! must survive arbitrary loss/duplication/reordering schedules — the
+//! property the Phish runtime relied on when it layered its protocol over
+//! UDP/IP. These drive the *public* fabric API (the same one every engine
+//! uses), on a manual clock so fault schedules replay deterministically.
 
 use proptest::prelude::*;
 
-use phish::net::reliable::ReliableMsg;
 use phish::net::{
-    ChannelNet, Endpoint, LossyConfig, LossyEndpoint, NodeId, ReliableConfig, ReliableEndpoint,
-    SendCost,
+    Fabric, FabricConfig, FabricEndpoint, LossyConfig, NodeId, ReliableConfig, RequestId,
+    SplitPhase,
 };
 
-fn reliable_pair(cfg: LossyConfig) -> (ReliableEndpoint<u64>, ReliableEndpoint<u64>) {
-    let eps = ChannelNet::<ReliableMsg<u64>>::new(2, SendCost::FREE).into_endpoints();
-    let mut it = eps.into_iter();
-    let rel = ReliableConfig {
+/// A two-node lossy fabric with a test-speed recovery profile (tiny rto so
+/// manual clocks advancing by ~10ns per pump retransmit promptly).
+fn lossy_pair(faults: LossyConfig) -> (FabricEndpoint<u64>, FabricEndpoint<u64>) {
+    let recovery = ReliableConfig {
         rto: 10,
         max_retries: 100_000,
     };
-    let a = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), cfg), rel);
-    let b = ReliableEndpoint::new(LossyEndpoint::new(it.next().unwrap(), cfg), rel);
+    let fabric = Fabric::<u64>::new(2, FabricConfig::lossy(faults).with_recovery(recovery));
+    let mut it = fabric.into_endpoints().into_iter();
+    let a = it.next().unwrap();
+    let b = it.next().unwrap();
     (a, b)
 }
 
@@ -33,22 +36,28 @@ proptest! {
         seed in any::<u64>(),
         count in 1u64..150,
     ) {
-        let cfg = LossyConfig { drop_prob, dup_prob, reorder_prob, seed };
-        let (mut a, mut b) = reliable_pair(cfg);
+        let faults = LossyConfig { drop_prob, dup_prob, reorder_prob, seed };
+        let (mut a, mut b) = lossy_pair(faults);
         for i in 0..count {
-            a.send(NodeId(1), i, 0);
+            a.send_at(NodeId(1), i, 0);
         }
         let mut got = Vec::new();
         let mut now = 0;
         for _ in 0..200_000 {
             now += 11;
-            got.extend(a.pump(now).into_iter().map(|e| e.body));
-            got.extend(b.pump(now).into_iter().map(|e| e.body));
-            if a.in_flight() == 0 && b.in_flight() == 0 {
+            a.pump_at(now);
+            b.pump_at(now);
+            while let Some(env) = b.try_recv() {
+                got.push(env.body);
+            }
+            if a.in_flight() == 0 {
                 break;
             }
         }
         prop_assert_eq!(a.in_flight(), 0, "sender never quiesced");
+        while let Some(env) = b.try_recv() {
+            got.push(env.body);
+        }
         got.sort_unstable();
         prop_assert_eq!(got, (0..count).collect::<Vec<_>>());
     }
@@ -57,19 +66,15 @@ proptest! {
     fn raw_lossy_link_loses_at_configured_rate(
         seed in any::<u64>(),
     ) {
-        // Sanity check the fault injector itself: at 30% drop the observed
-        // loss over 2000 sends must be near 30%.
-        let cfg = LossyConfig { drop_prob: 0.3, dup_prob: 0.0, reorder_prob: 0.0, seed };
-        let eps = ChannelNet::<u64>::new(2, SendCost::FREE).into_endpoints();
-        let mut it = eps.into_iter();
-        let mut tx = LossyEndpoint::new(it.next().unwrap(), cfg);
-        let rx: Endpoint<u64> = it.next().unwrap();
+        // Sanity check the fault injector itself: before any recovery pump,
+        // a 30% drop roll keeps ~30% of sends out of the destination queue.
+        let faults = LossyConfig { drop_prob: 0.3, dup_prob: 0.0, reorder_prob: 0.0, seed };
+        let (mut a, b) = lossy_pair(faults);
         for i in 0..2000 {
-            tx.send(NodeId(1), i);
+            a.send_at(NodeId(1), i, 0);
         }
-        tx.flush_delayed();
         let mut n = 0;
-        while rx.try_recv().is_some() {
+        while b.try_recv().is_some() {
             n += 1;
         }
         prop_assert!((1200..=1600).contains(&n), "delivered {n}/2000 at 30% loss");
@@ -77,17 +82,16 @@ proptest! {
 }
 
 #[test]
-fn split_phase_with_reliable_transport() {
-    // A split-phase RPC over the lossy/reliable stack: request ids survive
-    // the transport faults.
-    use phish::net::SplitPhase;
-    let (mut client, mut server) = reliable_pair(LossyConfig::nasty(7));
+fn split_phase_with_lossy_fabric() {
+    // A split-phase RPC over faulty links: request ids survive the
+    // transport faults because the fabric recovers to exactly-once.
+    let (mut client, mut server) = lossy_pair(LossyConfig::nasty(7));
     let mut sp: SplitPhase<u64> = SplitPhase::new();
     // Issue 20 requests; encode the request id in the payload's high bits.
     let ids: Vec<_> = (0..20u64)
         .map(|i| {
             let id = sp.register();
-            client.send(NodeId(1), (id.0 << 8) | i, 0);
+            client.send_at(NodeId(1), (id.0 << 8) | i, 0);
             (id, i)
         })
         .collect();
@@ -96,12 +100,14 @@ fn split_phase_with_reliable_transport() {
     while outstanding > 0 {
         now += 11;
         // Server echoes requests back as replies, doubled.
-        for env in server.pump(now) {
+        server.pump_at(now);
+        while let Some(env) = server.try_recv() {
             let (id, arg) = (env.body >> 8, env.body & 0xFF);
-            server.send(env.src, (id << 8) | (arg * 2), now);
+            server.send_at(env.src, (id << 8) | (arg * 2), now);
         }
-        for env in client.pump(now) {
-            let id = phish::net::RequestId(env.body >> 8);
+        client.pump_at(now);
+        while let Some(env) = client.try_recv() {
+            let id = RequestId(env.body >> 8);
             if sp.complete(id, env.body & 0xFF) {
                 outstanding -= 1;
             }
