@@ -4,7 +4,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use phish_net::{Fabric, FabricConfig, FabricEndpoint, LossyConfig, NodeId, ReliableConfig};
+use std::time::Duration;
+
+use phish_net::{
+    Fabric, FabricConfig, FabricEndpoint, LossyConfig, NodeId, ReliableConfig, UdpConfig,
+    UdpFabric, WireCodec,
+};
 
 fn pair(cfg: FabricConfig) -> (FabricEndpoint<u64>, FabricEndpoint<u64>) {
     let mut it = Fabric::<u64>::new(2, cfg).into_endpoints().into_iter();
@@ -96,11 +101,44 @@ fn bench_recovery_under_loss(c: &mut Criterion) {
     });
 }
 
+/// An 8-byte payload for the real-socket benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ping(u64);
+
+impl WireCodec for Ping {
+    fn encode_bytes(&self) -> Vec<u8> {
+        self.0.to_le_bytes().to_vec()
+    }
+
+    fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        Some(Ping(u64::from_le_bytes(bytes.try_into().ok()?)))
+    }
+}
+
+fn bench_udp_ping_pong(c: &mut Criterion) {
+    // One acknowledged round-trip over real loopback UDP sockets: the cost
+    // of leaving the address space (syscalls, poller hand-off, ack
+    // traffic) relative to the nanosecond-scale in-memory fabric above.
+    let mut eps = UdpFabric::local::<Ping>(2, UdpConfig::lan()).expect("loopback sockets");
+    let b = eps.pop().expect("endpoint 1");
+    let a = eps.pop().expect("endpoint 0");
+    let timeout = Duration::from_millis(100);
+    c.bench_function("transport/udp/ping_pong", |bch| {
+        bch.iter(|| {
+            a.send(NodeId(1), &Ping(7));
+            let ping = b.recv_timeout(timeout).expect("ping arrives");
+            b.send(NodeId(0), &black_box(ping.1));
+            black_box(a.recv_timeout(timeout).expect("pong arrives"))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_reliable_send_recv,
     bench_lossy_send,
     bench_recovery_roundtrip,
     bench_recovery_under_loss,
+    bench_udp_ping_pong,
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! benchmarks (`ablation_orders`) can demonstrate *why* the paper's settings
 //! win.
 
-use phish_net::{LossyConfig, Nanos};
+use phish_net::{LossyConfig, Nanos, ReliableConfig};
 
 /// Which end of its own ready list a worker executes from.
 ///
@@ -99,6 +99,13 @@ pub struct SchedulerConfig {
     /// raw-UDP semantics, as on the paper's network. `None` (the default)
     /// uses reliable in-process links.
     pub link_faults: Option<LossyConfig>,
+    /// Ack/retransmit tuning for faulty links: the retransmission timeout
+    /// and retry budget the fabric's reliability layer uses when
+    /// `link_faults` is set. Defaults to [`ReliableConfig::aggressive`]
+    /// (rto = 50µs, 100 retries), which suits the in-memory fabric's
+    /// near-zero latency; real sockets want [`ReliableConfig::lan`]
+    /// (rto = 5ms, 200 retries) or a custom profile for the measured RTT.
+    pub link_recovery: ReliableConfig,
     /// Per-worker scheduling-trace capacity in events; 0 disables tracing
     /// (the default — tracing costs one branch per operation when off).
     pub trace_capacity: usize,
@@ -122,6 +129,7 @@ impl SchedulerConfig {
             seed: 0x5EED,
             send_overhead: 0,
             link_faults: None,
+            link_recovery: ReliableConfig::aggressive(),
             trace_capacity: 0,
             track_busy: false,
         }
@@ -151,6 +159,12 @@ impl SchedulerConfig {
     /// Injects seeded link faults on the inter-worker fabric.
     pub fn with_link_faults(mut self, faults: LossyConfig) -> Self {
         self.link_faults = Some(faults);
+        self
+    }
+
+    /// Overrides the ack/retransmit profile used on faulty links.
+    pub fn with_link_recovery(mut self, recovery: ReliableConfig) -> Self {
+        self.link_recovery = recovery;
         self
     }
 
@@ -187,6 +201,12 @@ impl SchedulerConfig {
                     return Err("link_faults.drop_prob of 1.0 can never deliver".into());
                 }
             }
+        }
+        if self.link_recovery.rto == 0 {
+            return Err("link_recovery.rto of 0 would retransmit every pump".into());
+        }
+        if self.link_recovery.max_retries == 0 {
+            return Err("link_recovery.max_retries of 0 can never recover a loss".into());
         }
         Ok(())
     }
@@ -229,8 +249,28 @@ mod tests {
     fn builders_compose() {
         let c = SchedulerConfig::paper(2)
             .with_seed(9)
-            .with_send_overhead(100);
+            .with_send_overhead(100)
+            .with_link_recovery(ReliableConfig::lan());
         assert_eq!(c.seed, 9);
         assert_eq!(c.send_overhead, 100);
+        assert_eq!(c.link_recovery.rto, ReliableConfig::lan().rto);
+        assert_eq!(
+            c.link_recovery.max_retries,
+            ReliableConfig::lan().max_retries
+        );
+    }
+
+    #[test]
+    fn degenerate_link_recovery_rejected() {
+        let zero_rto = SchedulerConfig::paper(2).with_link_recovery(ReliableConfig {
+            rto: 0,
+            max_retries: 4,
+        });
+        assert!(zero_rto.validate().is_err());
+        let zero_retries = SchedulerConfig::paper(2).with_link_recovery(ReliableConfig {
+            rto: 1000,
+            max_retries: 0,
+        });
+        assert!(zero_retries.validate().is_err());
     }
 }

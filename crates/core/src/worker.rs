@@ -33,9 +33,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use phish_net::{
-    Fabric, FabricConfig, FabricEndpoint, FabricHandle, NodeId, ReliableConfig, SendCost,
-};
+use phish_net::{Fabric, FabricConfig, FabricEndpoint, FabricHandle, NodeId, SendCost};
 
 use crate::cell::{Cell, JoinFn};
 use crate::config::{SchedulerConfig, StealProtocol};
@@ -75,9 +73,11 @@ impl<T: Send + 'static> Shared<T> {
         // a retired worker's thread exits while its original mailbox is
         // still polled by the adoptee.
         let fabric_cfg = match cfg.link_faults {
-            // Busy-polling workers pump constantly, so an aggressive
-            // retransmission timer recovers losses at spin-loop latency.
-            Some(faults) => FabricConfig::lossy(faults).with_recovery(ReliableConfig::aggressive()),
+            // Busy-polling workers pump constantly, so the default
+            // aggressive retransmission timer recovers losses at
+            // spin-loop latency; `cfg.link_recovery` retunes it for
+            // slower links.
+            Some(faults) => FabricConfig::lossy(faults).with_recovery(cfg.link_recovery),
             None => FabricConfig::reliable(),
         }
         .with_cost(SendCost::with_overhead(cfg.send_overhead))

@@ -164,6 +164,29 @@ impl ReliableConfig {
             max_retries: u32::MAX,
         }
     }
+
+    /// A profile tuned for real sockets on loopback or a LAN: a 5ms
+    /// retransmission timeout (two orders of magnitude above a loopback
+    /// RTT, far below human-visible latency) and enough retries that a
+    /// peer is only declared dead after about a second of silence.
+    pub fn lan() -> Self {
+        Self {
+            rto: 5 * MILLISECOND,
+            max_retries: 200,
+        }
+    }
+
+    /// Overrides the retransmission timeout.
+    pub fn with_rto(mut self, rto: Nanos) -> Self {
+        self.rto = rto;
+        self
+    }
+
+    /// Overrides the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
 }
 
 /// How a fabric's links behave.
@@ -262,8 +285,11 @@ enum Payload<M> {
 }
 
 /// Receiver-side exactly-once window for one `(src, dst)` flow.
+///
+/// Shared with the real-socket transport ([`crate::udp`]), which runs the
+/// same deduplication protocol over actual datagrams.
 #[derive(Debug)]
-struct RecvFlow {
+pub(crate) struct RecvFlow {
     /// All seq numbers below this have been delivered.
     cursor: u64,
     /// Delivered seqs at or above `cursor` (out-of-order arrivals).
@@ -282,7 +308,7 @@ impl Default for RecvFlow {
 
 impl RecvFlow {
     /// Returns true when `seq` is fresh, recording it as delivered.
-    fn accept(&mut self, seq: u64) -> bool {
+    pub(crate) fn accept(&mut self, seq: u64) -> bool {
         if self.contains(seq) {
             return false;
         }
@@ -294,7 +320,7 @@ impl RecvFlow {
     }
 
     /// True when `seq` has already been delivered.
-    fn contains(&self, seq: u64) -> bool {
+    pub(crate) fn contains(&self, seq: u64) -> bool {
         seq < self.cursor || self.seen.contains(&seq)
     }
 }
@@ -832,6 +858,19 @@ impl<M: Send> FabricEndpoint<M> {
             out.retries += 1;
             out.last_tx = now;
             let open = !shared.nodes[dst as usize].closed.load(Ordering::Acquire);
+            // Every retransmitted copy — a full data body or a header-only
+            // probe — is a datagram put on the wire, whether or not the
+            // fault injector then loses it. Table 2's message and byte
+            // figures must include them all, so they are counted here,
+            // before the drop roll.
+            let wire_bytes = if out.body.is_some() {
+                out.bytes
+            } else {
+                crate::message::HEADER_BYTES
+            };
+            shared.nodes[me.index()].metrics.record_send(wire_bytes);
+            shared.nodes[me.index()].metrics.record_retransmission();
+            shared.link_msgs[shared.link(me.index(), dst as usize)].fetch_add(1, Ordering::Relaxed);
             if out.body.is_none() {
                 // The datagram is physically queued at the receiver; only
                 // the ack is outstanding. Re-probe so a receiver that saw
@@ -852,9 +891,6 @@ impl<M: Send> FabricEndpoint<M> {
                 continue;
             }
             let body = out.body.take().expect("checked is_some");
-            shared.nodes[me.index()].metrics.record_send(out.bytes);
-            shared.nodes[me.index()].metrics.record_retransmission();
-            shared.link_msgs[shared.link(me.index(), dst as usize)].fetch_add(1, Ordering::Relaxed);
             let _ = shared.nodes[dst as usize].inbound_tx.send(Envelope {
                 src: me,
                 dst: NodeId(dst),
@@ -1262,6 +1298,35 @@ mod tests {
         let snap = handle.metrics_of(0);
         assert!(snap.retransmissions > 0, "50% loss must retransmit");
         assert!(snap.messages_dropped > 0);
+    }
+
+    #[test]
+    fn retransmitted_copies_count_their_bytes() {
+        // A link that loses everything: the original send and every
+        // retransmitted copy go "on the wire" and are lost there, so each
+        // one must be counted in messages_sent and bytes_sent — Table 2's
+        // byte figures were silently omitting retransmitted copies.
+        let cfg =
+            FabricConfig::lossy(LossyConfig::dropping(1.0, 3)).with_recovery(ReliableConfig {
+                rto: 10,
+                max_retries: 100,
+            });
+        let fabric = Fabric::<NoClone>::new(2, cfg);
+        let handle = fabric.handle();
+        let mut eps = fabric.into_endpoints();
+        eps[0].send_at(NodeId(1), NoClone(7), 0);
+        let mut now = 0;
+        for _ in 0..4 {
+            now += 11;
+            eps[0].pump_at(now);
+        }
+        let per_msg = NoClone(7).wire_bytes() as u64;
+        let snap = handle.metrics_of(0);
+        assert_eq!(snap.retransmissions, 4);
+        assert_eq!(snap.messages_sent, 5, "original + 4 retransmissions");
+        assert_eq!(snap.bytes_sent, 5 * per_msg, "every copy counts its bytes");
+        assert_eq!(snap.messages_dropped, 5);
+        assert_eq!(handle.link_messages(0, 1), 5);
     }
 
     #[test]

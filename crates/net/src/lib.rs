@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod rpc;
 pub mod splitphase;
 pub mod time;
+pub mod udp;
 
 pub use fabric::{
     Fabric, FabricConfig, FabricEndpoint, FabricHandle, LinkPolicy, LossyConfig, ReliableConfig,
@@ -57,3 +58,4 @@ pub use metrics::{NetMetrics, NetSnapshot};
 pub use rpc::{RpcClient, RpcFrame, RpcServer};
 pub use splitphase::{RequestId, SplitPhase};
 pub use time::{Clock, ManualClock, Nanos, RealClock};
+pub use udp::{UdpConfig, UdpEndpoint, UdpFabric, WireCodec, UDP_HEADER_BYTES};

@@ -22,9 +22,11 @@ pub struct NetMetrics {
 /// A point-in-time copy of [`NetMetrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetSnapshot {
-    /// Messages handed to the transport by senders.
+    /// Messages put on the wire by senders, including every retransmitted
+    /// copy.
     pub messages_sent: u64,
-    /// Approximate bytes handed to the transport by senders.
+    /// Approximate bytes put on the wire by senders, including every
+    /// retransmitted copy (Table 2's byte figures stay honest under loss).
     pub bytes_sent: u64,
     /// Application messages handed to a receiver — exactly once per
     /// message under the fabric's lossy policy (duplicates are filtered

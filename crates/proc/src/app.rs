@@ -1,0 +1,197 @@
+//! Application dispatch for the process runtime.
+//!
+//! The protocol carries tasks and results as opaque word vectors; this
+//! module is where they regain their types. A job names its application by
+//! [`AppKind`], and both driver and worker dispatch *once* at startup to
+//! code monomorphised over the concrete [`SpecTask`] — no trait objects
+//! cross the scheduler's hot path, mirroring the in-process engines.
+//!
+//! Only spec-form applications with `WordCodec` task and output encodings
+//! can run multi-process (they are the re-creatable, serialisable task
+//! form); fib and pfold are the two wired up here, matching the paper's
+//! toy-vs-real pair.
+//!
+//! [`SpecTask`]: phish_core::SpecTask
+
+use phish_apps::{FibSpec, PfoldSpec};
+use phish_core::codec::WordCodec;
+use phish_core::SpecTask;
+
+use crate::proto::{from_words, to_words, JobDesc};
+
+/// The applications the process runtime can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Doubly-recursive Fibonacci (Table 1's overhead stress test).
+    Fib,
+    /// Lattice polymer folding (the Table 2 / Figure 4 workload).
+    Pfold,
+}
+
+impl AppKind {
+    /// Parses a command-line name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "fib" => Some(Self::Fib),
+            "pfold" => Some(Self::Pfold),
+            _ => None,
+        }
+    }
+
+    /// The wire id used in [`JobDesc::app`].
+    pub fn as_u64(self) -> u64 {
+        match self {
+            Self::Fib => 1,
+            Self::Pfold => 2,
+        }
+    }
+
+    /// Decodes a wire id.
+    pub fn from_u64(id: u64) -> Option<Self> {
+        match id {
+            1 => Some(Self::Fib),
+            2 => Some(Self::Pfold),
+            _ => None,
+        }
+    }
+
+    /// The command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fib => "fib",
+            Self::Pfold => "pfold",
+        }
+    }
+}
+
+/// A job's typed result, decoded from the driver's final merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppResult {
+    /// fib(n).
+    Fib(u64),
+    /// The contact-count histogram.
+    Pfold(phish_apps::Histogram),
+}
+
+impl AppResult {
+    /// Decodes the result words for `app`.
+    pub fn decode(app: AppKind, words: &[u64]) -> Option<Self> {
+        match app {
+            AppKind::Fib => from_words::<u64>(words).map(AppResult::Fib),
+            AppKind::Pfold => from_words::<Vec<u64>>(words).map(AppResult::Pfold),
+        }
+    }
+
+    /// A one-line human rendering (what `phishd` prints).
+    pub fn display(&self) -> String {
+        match self {
+            AppResult::Fib(v) => format!("fib = {v}"),
+            AppResult::Pfold(hist) => {
+                format!(
+                    "pfold walks = {}, histogram = {:?}",
+                    phish_apps::count_walks(hist),
+                    hist
+                )
+            }
+        }
+    }
+}
+
+/// Builds the encoded root task for a job description.
+pub fn root_task_words(desc: &JobDesc) -> Option<Vec<u64>> {
+    match AppKind::from_u64(desc.app)? {
+        AppKind::Fib => Some(to_words(&FibSpec { n: desc.arg })),
+        AppKind::Pfold => Some(to_words(&PfoldSpec::new(
+            desc.arg as usize,
+            desc.depth as usize,
+        ))),
+    }
+}
+
+/// What app dispatch hands its continuation: the spec type plus the
+/// word-vector bridges the generic protocol needs.
+pub trait WireApp: SpecTask + WordCodec
+where
+    Self::Output: WordCodec + PartialEq,
+{
+    /// Decodes a task from grant/spill words.
+    fn task_from_words(words: &[u64]) -> Option<Self> {
+        from_words(words)
+    }
+
+    /// Encodes a task for a grant/spill.
+    fn task_to_words(&self) -> Vec<u64> {
+        to_words(self)
+    }
+
+    /// Decodes an accumulator (falling back to the identity for an empty
+    /// vector, which is what a worker that never executed reports).
+    fn acc_from_words(words: &[u64]) -> Option<Self::Output> {
+        from_words(words)
+    }
+
+    /// Encodes an accumulator.
+    fn acc_to_words(acc: &Self::Output) -> Vec<u64> {
+        to_words(acc)
+    }
+}
+
+impl WireApp for FibSpec {}
+impl WireApp for PfoldSpec {}
+
+/// Runs `f` monomorphised for `app`'s spec type. This is the single
+/// dispatch point for both driver and worker.
+pub fn dispatch<R>(app: AppKind, f: impl AppCall<R>) -> R {
+    match app {
+        AppKind::Fib => f.call::<FibSpec>(),
+        AppKind::Pfold => f.call::<PfoldSpec>(),
+    }
+}
+
+/// A callback generic over the dispatched spec type (a hand-rolled
+/// rank-2 closure: stable Rust cannot express `for<S: WireApp> FnOnce`).
+pub trait AppCall<R> {
+    /// Invokes the callback at spec type `S`.
+    fn call<S: WireApp>(self) -> R
+    where
+        S::Output: WordCodec + PartialEq;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ids_roundtrip() {
+        for app in [AppKind::Fib, AppKind::Pfold] {
+            assert_eq!(AppKind::from_u64(app.as_u64()), Some(app));
+            assert_eq!(AppKind::from_name(app.name()), Some(app));
+        }
+        assert_eq!(AppKind::from_u64(0), None);
+        assert_eq!(AppKind::from_name("raytrace"), None);
+    }
+
+    #[test]
+    fn root_task_encodes_and_steps() {
+        let desc = JobDesc {
+            app: AppKind::Fib.as_u64(),
+            arg: 10,
+            depth: 0,
+            seed: 0,
+            nodes: 2,
+        };
+        let words = root_task_words(&desc).unwrap();
+        let spec = FibSpec::task_from_words(&words).unwrap();
+        assert_eq!(spec, FibSpec { n: 10 });
+    }
+
+    #[test]
+    fn result_display_names_the_app() {
+        assert_eq!(AppResult::Fib(55).display(), "fib = 55");
+        let words = to_words(&55u64);
+        assert_eq!(
+            AppResult::decode(AppKind::Fib, &words),
+            Some(AppResult::Fib(55))
+        );
+    }
+}

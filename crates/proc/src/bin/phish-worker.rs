@@ -1,0 +1,85 @@
+//! `phish-worker` — one scheduling node of a multi-process job.
+//!
+//! Joins the driver at `--driver`, registers as node `--id`, and runs the
+//! work-stealing kernel until the driver declares the job done (exit 0),
+//! SIGTERM asks it to depart gracefully (exit 0), or the driver vanishes
+//! (exit 3).
+//!
+//! ```text
+//! phish-worker --driver 127.0.0.1:4242 --id 1
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use phish_net::{LossyConfig, UdpConfig};
+use phish_proc::{run_worker, WorkerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: phish-worker --driver HOST:PORT --id N [--drop P] [--dup P] [--fault-seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let mut driver: Option<SocketAddr> = None;
+    let mut id: Option<u64> = None;
+    let mut drop_prob = 0.0f64;
+    let mut dup_prob = 0.0f64;
+    let mut fault_seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--driver" => driver = Some(parse(&value("--driver"), "--driver")),
+            "--id" => id = Some(parse(&value("--id"), "--id")),
+            "--drop" => drop_prob = parse(&value("--drop"), "--drop"),
+            "--dup" => dup_prob = parse(&value("--dup"), "--dup"),
+            "--fault-seed" => fault_seed = parse(&value("--fault-seed"), "--fault-seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let (Some(driver), Some(id)) = (driver, id) else {
+        eprintln!("--driver and --id are required");
+        usage()
+    };
+    if id == 0 {
+        eprintln!("--id 0 is the driver; workers are 1-based");
+        return ExitCode::from(2);
+    }
+    phish_proc::signal::install_term_handler();
+    let mut udp = UdpConfig::lan();
+    if drop_prob > 0.0 || dup_prob > 0.0 {
+        let mut faults = LossyConfig::dropping(drop_prob, fault_seed ^ id);
+        faults.dup_prob = dup_prob;
+        udp = udp.with_faults(faults);
+    }
+    let cfg = WorkerConfig::new(id, driver).with_udp(udp);
+    match run_worker(cfg) {
+        Ok(exit) => {
+            eprintln!("phish-worker {id}: {exit:?}");
+            ExitCode::from(exit.code() as u8)
+        }
+        Err(e) => {
+            eprintln!("phish-worker {id}: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

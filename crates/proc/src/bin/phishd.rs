@@ -1,0 +1,193 @@
+//! `phishd` — the job driver daemon.
+//!
+//! Binds a UDP endpoint, waits for `--workers` workers to join (or, with
+//! `--spawn`, launches them itself), runs the job, prints the result.
+//!
+//! ```text
+//! phishd --app fib --arg 20 --workers 4 --spawn
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use phish_net::{LossyConfig, UdpConfig};
+use phish_proc::{AppKind, Deployment, Driver, DriverConfig};
+
+struct Args {
+    app: AppKind,
+    arg: u64,
+    depth: u64,
+    workers: usize,
+    spawn: bool,
+    port: u16,
+    seed: u64,
+    drop_prob: f64,
+    fault_seed: u64,
+    timeout_secs: u64,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: phishd --app fib|pfold --arg N [--depth D] [--workers N] [--spawn]\n\
+         \x20             [--port P] [--seed S] [--drop P] [--fault-seed S]\n\
+         \x20             [--timeout SECS] [--verbose]\n\
+         \n\
+         \x20 --spawn      launch the workers locally (otherwise start\n\
+         \x20              `phish-worker --driver <addr> --id <1..N>` yourself)\n\
+         \x20 --port 0     ephemeral port (the bound address is printed)\n\
+         \x20 --drop       per-datagram drop probability injected at the driver"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        app: AppKind::Fib,
+        arg: 20,
+        depth: 4,
+        workers: 4,
+        spawn: false,
+        port: 0,
+        seed: 0x5EED,
+        drop_prob: 0.0,
+        fault_seed: 7,
+        timeout_secs: 120,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut app_set = false;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--app" => {
+                let name = value("--app");
+                out.app = AppKind::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown app {name:?} (want fib or pfold)");
+                    usage()
+                });
+                app_set = true;
+            }
+            "--arg" => out.arg = parse(&value("--arg"), "--arg"),
+            "--depth" => out.depth = parse(&value("--depth"), "--depth"),
+            "--workers" => out.workers = parse(&value("--workers"), "--workers"),
+            "--spawn" => out.spawn = true,
+            "--port" => out.port = parse(&value("--port"), "--port"),
+            "--seed" => out.seed = parse(&value("--seed"), "--seed"),
+            "--drop" => out.drop_prob = parse(&value("--drop"), "--drop"),
+            "--fault-seed" => out.fault_seed = parse(&value("--fault-seed"), "--fault-seed"),
+            "--timeout" => out.timeout_secs = parse(&value("--timeout"), "--timeout"),
+            "--verbose" => out.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if !app_set {
+        eprintln!("--app is required");
+        usage();
+    }
+    out
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut udp = UdpConfig::lan();
+    if args.drop_prob > 0.0 {
+        udp = udp.with_faults(LossyConfig::dropping(args.drop_prob, args.fault_seed));
+    }
+    let cfg = DriverConfig {
+        app: args.app,
+        arg: args.arg,
+        depth: args.depth,
+        seed: args.seed,
+        workers: args.workers,
+        udp,
+        crash_deadline: Duration::from_secs(2),
+        job_timeout: Some(Duration::from_secs(args.timeout_secs)),
+    };
+    let outcome = if args.spawn {
+        let running = match Deployment::local(args.app, args.arg, args.workers)
+            .with_config(cfg)
+            .launch()
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("phishd: launch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "phishd: driver on {} with {} spawned workers",
+            running.driver_addr(),
+            running.worker_count()
+        );
+        match running.wait() {
+            Ok(outcome) => outcome.driver,
+            Err(e) => {
+                eprintln!("phishd: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let addr: SocketAddr = SocketAddr::from(([127, 0, 0, 1], args.port));
+        let driver = match Driver::bind_addr(cfg, addr) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("phishd: bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "phishd: waiting for {} workers on {}",
+            args.workers,
+            driver.local_addr()
+        );
+        match driver.run() {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("phishd: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!("{}", outcome.result.display());
+    if args.verbose {
+        eprintln!(
+            "phishd: net: sent={} delivered={} retransmissions={} dropped={}",
+            outcome.net.messages_sent,
+            outcome.net.messages_delivered,
+            outcome.net.retransmissions,
+            outcome.net.messages_dropped
+        );
+        eprintln!(
+            "phishd: clearinghouse: registrations={} unregistrations={} heartbeats={}",
+            outcome.clearinghouse.registrations,
+            outcome.clearinghouse.unregistrations,
+            outcome.clearinghouse.heartbeats
+        );
+        eprintln!(
+            "phishd: confirm_rounds={} departed={}",
+            outcome.confirm_rounds, outcome.departed
+        );
+        for line in &outcome.log {
+            eprintln!("phishd: log: {line}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,239 @@
+//! Multi-process deployment harness.
+//!
+//! [`Deployment`] is the programmatic face of `phishd --spawn`: it binds a
+//! driver endpoint in-process, launches N `phish-worker` **child
+//! processes** pointed at it over loopback UDP, and supervises the run.
+//! Tests and benchmarks use it to stand up a real 1-driver/N-worker
+//! cluster in a couple of lines:
+//!
+//! ```no_run
+//! use phish_proc::{AppKind, Deployment};
+//!
+//! let outcome = Deployment::local(AppKind::Fib, 20, 4).run().unwrap();
+//! println!("{}", outcome.driver.result.display());
+//! ```
+//!
+//! The harness finds the worker binary next to the current executable
+//! (the layout `cargo` produces), or wherever `PHISH_WORKER_BIN` points.
+//! [`Running::kill_worker`] delivers a real SIGTERM mid-run, which is how
+//! the graceful-departure path is exercised end-to-end.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::app::AppKind;
+use crate::driver::{Driver, DriverConfig, DriverOutcome};
+
+/// Environment variable overriding where the worker binary lives.
+pub const WORKER_BIN_ENV: &str = "PHISH_WORKER_BIN";
+
+/// A described-but-not-yet-launched local cluster.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    cfg: DriverConfig,
+    worker_bin: Option<PathBuf>,
+}
+
+/// A launched cluster: driver thread plus worker child processes.
+pub struct Running {
+    addr: SocketAddr,
+    driver: JoinHandle<Result<DriverOutcome, String>>,
+    workers: Vec<Option<Child>>,
+}
+
+/// What a finished cluster reports.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The driver's result and service counters.
+    pub driver: DriverOutcome,
+    /// Exit codes of the worker processes, in spawn order (`None` when a
+    /// worker was torn down without a reapable status).
+    pub worker_exits: Vec<Option<i32>>,
+}
+
+impl Deployment {
+    /// A loopback cluster of `workers` worker processes running `app(arg)`.
+    pub fn local(app: AppKind, arg: u64, workers: usize) -> Self {
+        Self {
+            cfg: DriverConfig::local(app, arg, workers),
+            worker_bin: None,
+        }
+    }
+
+    /// Replaces the driver configuration wholesale (fault injection,
+    /// timeouts, spawn depth).
+    pub fn with_config(mut self, cfg: DriverConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Points the harness at a specific worker binary (tests use the
+    /// `CARGO_BIN_EXE_phish-worker` path cargo hands them).
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// The driver configuration this deployment will run.
+    pub fn config(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
+    /// Locates the `phish-worker` binary.
+    fn worker_bin(&self) -> io::Result<PathBuf> {
+        if let Some(bin) = &self.worker_bin {
+            return Ok(bin.clone());
+        }
+        if let Some(bin) = std::env::var_os(WORKER_BIN_ENV) {
+            return Ok(PathBuf::from(bin));
+        }
+        let me = std::env::current_exe()?;
+        let name = format!("phish-worker{}", std::env::consts::EXE_SUFFIX);
+        let mut dirs: Vec<&Path> = Vec::new();
+        if let Some(dir) = me.parent() {
+            dirs.push(dir);
+            // Test binaries live in target/<profile>/deps; the bins one up.
+            if let Some(up) = dir.parent() {
+                dirs.push(up);
+            }
+        }
+        for dir in dirs {
+            let candidate = dir.join(&name);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{name} not found next to {} (set {WORKER_BIN_ENV})",
+                me.display()
+            ),
+        ))
+    }
+
+    /// Binds the driver, spawns the worker processes, returns the handle.
+    pub fn launch(self) -> io::Result<Running> {
+        let bin = if self.cfg.workers > 0 {
+            Some(self.worker_bin()?)
+        } else {
+            None
+        };
+        let driver = Driver::bind(self.cfg)?;
+        let addr = driver.local_addr();
+        let mut workers = Vec::with_capacity(self.cfg.workers);
+        for id in 1..=self.cfg.workers {
+            let mut cmd = Command::new(bin.as_ref().expect("workers>0 implies bin"));
+            cmd.arg("--driver")
+                .arg(addr.to_string())
+                .arg("--id")
+                .arg(id.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null());
+            if let Some(faults) = self.cfg.udp.faults {
+                cmd.arg("--drop").arg(faults.drop_prob.to_string());
+                cmd.arg("--dup").arg(faults.dup_prob.to_string());
+                cmd.arg("--fault-seed").arg(faults.seed.to_string());
+            }
+            match cmd.spawn() {
+                Ok(child) => workers.push(Some(child)),
+                Err(e) => {
+                    // Unwind what we already started.
+                    for child in workers.iter_mut().flatten() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let driver = std::thread::Builder::new()
+            .name("phishd-driver".into())
+            .spawn(move || driver.run())?;
+        Ok(Running {
+            addr,
+            driver,
+            workers,
+        })
+    }
+
+    /// `launch()` + `wait()`: runs the cluster to completion.
+    pub fn run(self) -> Result<Outcome, String> {
+        self.launch().map_err(|e| e.to_string())?.wait()
+    }
+}
+
+impl Running {
+    /// The driver's address (what extra out-of-harness workers would join).
+    pub fn driver_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of worker processes this harness launched.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sends SIGTERM to worker `index` (0-based spawn order), triggering
+    /// its graceful spill-and-depart path. The process is reaped in
+    /// [`wait`](Self::wait).
+    pub fn kill_worker(&mut self, index: usize) -> io::Result<()> {
+        let child = self
+            .workers
+            .get_mut(index)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such worker"))?;
+        let status = Command::new("kill")
+            .arg("-TERM")
+            .arg(child.id().to_string())
+            .status()?;
+        if !status.success() {
+            return Err(io::Error::other("kill -TERM failed"));
+        }
+        Ok(())
+    }
+
+    /// Waits for the driver to declare the job done, then reaps every
+    /// worker. On driver failure the workers are killed, not leaked.
+    pub fn wait(mut self) -> Result<Outcome, String> {
+        let driver = match self.driver.join() {
+            Ok(result) => result,
+            Err(_) => Err("driver thread panicked".to_string()),
+        };
+        let mut worker_exits = Vec::with_capacity(self.workers.len());
+        for child in &mut self.workers {
+            let Some(mut child) = child.take() else {
+                worker_exits.push(None);
+                continue;
+            };
+            if driver.is_err() {
+                let _ = child.kill();
+            } else {
+                // The driver broadcast `Done`; give laggards a moment
+                // before resorting to SIGKILL.
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if std::time::Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            break;
+                        }
+                    }
+                }
+            }
+            worker_exits.push(child.wait().ok().and_then(|s| s.code()));
+        }
+        driver.map(|driver| Outcome {
+            driver,
+            worker_exits,
+        })
+    }
+}

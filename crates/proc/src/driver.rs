@@ -1,0 +1,619 @@
+//! The job driver: JobQ + Clearinghouse host, task pool, and distributed
+//! termination detection.
+//!
+//! `phishd` is node 0 of a job. It hosts the two macro-level services the
+//! paper centralises — the **PhishJobQ** (job pool accounting) and the
+//! **Clearinghouse** (participant roster, heartbeats, crash detection,
+//! buffered I/O) — as plain structs behind its one UDP endpoint, and adds
+//! the pieces a multi-process job needs from its hub:
+//!
+//! * **The spill pool.** The driver seeds the pool with the job's root
+//!   task and re-admits every task that comes back — a departing worker's
+//!   spilled ready list ([`ProcMsg::Goodbye`]), stray grants re-homed
+//!   during shutdown ([`ProcMsg::Spill`]), and dead letters (grants whose
+//!   destination died before acknowledging). Workers steal from the pool
+//!   exactly as they steal from each other: the driver answers
+//!   [`ProcMsg::StealRequest`] from the pool's FIFO end.
+//!
+//! * **Termination detection.** No shared memory means no global
+//!   outstanding-task counter. Instead the driver runs a double-confirm
+//!   count scheme (Mattern's four-counter method shaped to this
+//!   protocol): every report carries cumulative `executed` and `spawned`
+//!   counters, and the job is over exactly when every task spawned has
+//!   been executed — `Σ executed == Σ spawned` with the root counted as
+//!   the driver's one spawn. Heartbeat snapshots are asynchronous, so a
+//!   balanced-looking sum can be stale; the driver therefore confirms
+//!   with fresh [`ProcMsg::Confirm`]/[`ProcMsg::ConfirmAck`] rounds and
+//!   only terminates after **two consecutive rounds with identical,
+//!   balanced, all-idle counts** — any task in flight between rounds
+//!   perturbs the counters and voids the pair.
+//!
+//! * **Slot reclamation.** A worker leaving (gracefully or by crash
+//!   timeout) has its Clearinghouse slot deregistered and its JobQ
+//!   participation released via [`reclaim_slot`](DriverState::reclaim_slot),
+//!   and the shrunken roster is broadcast so nobody keeps picking the
+//!   ghost as a victim.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use phish_core::codec::WordCodec;
+use phish_core::SpecStep;
+use phish_macro::{
+    AssignPolicy, Clearinghouse, ClearinghouseStats, JobId, JobQ, JobQStats, JobSpec,
+};
+use phish_net::{Clock, NetSnapshot, NodeId, RealClock, UdpConfig, UdpEndpoint};
+
+use crate::app::{dispatch, AppCall, AppKind, AppResult, WireApp};
+use crate::proto::{JobDesc, PeerEntry, ProcMsg, WorkerReport};
+
+/// Node id 0 is the driver, always.
+pub const DRIVER_NODE: u64 = 0;
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// The application to run.
+    pub app: AppKind,
+    /// Application argument.
+    pub arg: u64,
+    /// Application spawn depth (pfold).
+    pub depth: u64,
+    /// Job seed (worker victim-RNG streams derive from it).
+    pub seed: u64,
+    /// Expected worker count (0 runs the job serially in the driver).
+    pub workers: usize,
+    /// UDP transport configuration (recovery timers, injected faults).
+    pub udp: UdpConfig,
+    /// Heartbeat silence after which a worker is declared crashed.
+    pub crash_deadline: Duration,
+    /// Overall job timeout; `None` waits forever.
+    pub job_timeout: Option<Duration>,
+}
+
+impl DriverConfig {
+    /// A loopback configuration for `workers` workers running `app(arg)`.
+    pub fn local(app: AppKind, arg: u64, workers: usize) -> Self {
+        Self {
+            app,
+            arg,
+            depth: 4,
+            seed: 0x5EED,
+            workers,
+            udp: UdpConfig::lan(),
+            crash_deadline: Duration::from_secs(2),
+            job_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+
+    /// Overrides the pfold spawn depth.
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Overrides the UDP transport configuration.
+    pub fn with_udp(mut self, udp: UdpConfig) -> Self {
+        self.udp = udp;
+        self
+    }
+
+    /// The job description sent to workers.
+    pub fn job_desc(&self) -> JobDesc {
+        JobDesc {
+            app: self.app.as_u64(),
+            arg: self.arg,
+            depth: self.depth,
+            seed: self.seed,
+            nodes: self.workers as u64 + 1,
+        }
+    }
+}
+
+/// What a finished driver reports.
+#[derive(Debug, Clone)]
+pub struct DriverOutcome {
+    /// The job's merged result.
+    pub result: AppResult,
+    /// The driver endpoint's traffic counters (retransmissions under
+    /// loss show up here).
+    pub net: NetSnapshot,
+    /// Clearinghouse service counters.
+    pub clearinghouse: ClearinghouseStats,
+    /// JobQ service counters.
+    pub jobq: JobQStats,
+    /// Worker log lines relayed through the Clearinghouse's buffered I/O.
+    pub log: Vec<String>,
+    /// Confirmation rounds run before termination was declared.
+    pub confirm_rounds: u64,
+    /// Workers that departed gracefully mid-run.
+    pub departed: u64,
+}
+
+/// A bound driver, ready to run.
+pub struct Driver {
+    ep: UdpEndpoint<ProcMsg>,
+    cfg: DriverConfig,
+}
+
+impl Driver {
+    /// Binds the driver's endpoint on an ephemeral loopback port.
+    pub fn bind(cfg: DriverConfig) -> io::Result<Self> {
+        Self::bind_addr(cfg, "127.0.0.1:0".parse().expect("loopback"))
+    }
+
+    /// Binds on a specific address (a fixed port for LAN deployments).
+    pub fn bind_addr(cfg: DriverConfig, addr: SocketAddr) -> io::Result<Self> {
+        let ep = UdpEndpoint::bind_addr(NodeId(DRIVER_NODE as u32), addr, cfg.udp)?;
+        Ok(Self { ep, cfg })
+    }
+
+    /// The address workers must be pointed at.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ep.local_addr()
+    }
+
+    /// Runs the job to completion (blocking the calling thread).
+    pub fn run(self) -> Result<DriverOutcome, String> {
+        struct Run {
+            ep: UdpEndpoint<ProcMsg>,
+            cfg: DriverConfig,
+        }
+        impl AppCall<Result<DriverOutcome, String>> for Run {
+            fn call<S: WireApp>(self) -> Result<DriverOutcome, String>
+            where
+                S::Output: WordCodec + PartialEq,
+            {
+                DriverState::<S>::new(self.ep, self.cfg).run()
+            }
+        }
+        let app = self.cfg.app;
+        dispatch(
+            app,
+            Run {
+                ep: self.ep,
+                cfg: self.cfg,
+            },
+        )
+    }
+}
+
+/// Live bookkeeping for one registered worker.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    /// Latest counters (heartbeat or confirm ack, whichever is newer).
+    report: WorkerReport,
+}
+
+/// An in-progress confirmation round.
+struct ConfirmRound {
+    epoch: u64,
+    /// worker → (fresh report, fresh encoded accumulator).
+    acks: HashMap<u64, (WorkerReport, Vec<u64>)>,
+}
+
+struct DriverState<S: WireApp>
+where
+    S::Output: WordCodec + PartialEq,
+{
+    ep: UdpEndpoint<ProcMsg>,
+    cfg: DriverConfig,
+    clock: RealClock,
+    jobq: JobQ,
+    job: JobId,
+    clearinghouse: Clearinghouse,
+    live: BTreeMap<u64, WorkerSlot>,
+    pool: VecDeque<S>,
+    acc: S::Output,
+    driver_exec: u64,
+    driver_spawn: u64,
+    departed_exec: u64,
+    departed_spawn: u64,
+    departed: u64,
+    any_joined: bool,
+    epoch: u64,
+    round: Option<ConfirmRound>,
+    /// The previous round's per-worker (executed, spawned) counts; a new
+    /// round matching these exactly confirms termination.
+    prev_counts: Option<BTreeMap<u64, (u64, u64)>>,
+}
+
+impl<S: WireApp> DriverState<S>
+where
+    S::Output: WordCodec + PartialEq,
+{
+    fn new(ep: UdpEndpoint<ProcMsg>, cfg: DriverConfig) -> Self {
+        let mut jobq = JobQ::with_policy(AssignPolicy::RoundRobin);
+        let job = jobq.submit(JobSpec::named(cfg.app.name()));
+        let desc = cfg.job_desc();
+        let root_words = crate::app::root_task_words(&desc).expect("valid app id");
+        let root: S = S::task_from_words(&root_words).expect("root roundtrips");
+        let mut pool = VecDeque::new();
+        pool.push_back(root);
+        Self {
+            ep,
+            cfg,
+            clock: RealClock::new(),
+            jobq,
+            job,
+            clearinghouse: Clearinghouse::new(),
+            live: BTreeMap::new(),
+            pool,
+            acc: S::identity(),
+            driver_exec: 0,
+            // The root is the one task nobody's `spawned` counter covers;
+            // counting it as the driver's spawn makes the termination
+            // invariant exactly Σ executed == Σ spawned.
+            driver_spawn: 1,
+            departed_exec: 0,
+            departed_spawn: 0,
+            departed: 0,
+            any_joined: false,
+            epoch: 0,
+            round: None,
+            prev_counts: None,
+        }
+    }
+
+    fn run(mut self) -> Result<DriverOutcome, String> {
+        let deadline = self.cfg.job_timeout.map(|t| Instant::now() + t);
+        let mut last_crash_scan = Instant::now();
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Err(format!(
+                        "job timed out ({} live workers, {} pooled tasks)",
+                        self.live.len(),
+                        self.pool.len()
+                    ));
+                }
+            }
+            // Drain everything pending, then block briefly for more.
+            while let Some((src, msg)) = self.ep.try_recv() {
+                self.handle(src, msg);
+            }
+            // Serial fallback: with no workers (none requested, or all
+            // departed) the driver steps pooled tasks itself so the job
+            // still finishes.
+            if (self.any_joined || self.cfg.workers == 0) && self.live.is_empty() {
+                if let Some(task) = self.pool.pop_front() {
+                    self.driver_exec += 1;
+                    match task.step() {
+                        SpecStep::Leaf(out) => {
+                            self.acc =
+                                S::merge(std::mem::replace(&mut self.acc, S::identity()), out);
+                        }
+                        SpecStep::Expand { children, partial } => {
+                            self.acc =
+                                S::merge(std::mem::replace(&mut self.acc, S::identity()), partial);
+                            self.driver_spawn += children.len() as u64;
+                            self.pool.extend(children);
+                        }
+                    }
+                    continue;
+                }
+            }
+            self.recover_lost_frames();
+            if last_crash_scan.elapsed() >= Duration::from_millis(100) {
+                last_crash_scan = Instant::now();
+                let now = self.clock.now();
+                let crash_deadline = self.cfg.crash_deadline.as_nanos() as u64;
+                for node in self.clearinghouse.detect_crashes_with(now, crash_deadline) {
+                    self.reclaim_slot(u64::from(node.0), "crash-detected");
+                }
+            }
+            if let Some(done) = self.check_termination() {
+                return Ok(done);
+            }
+            if let Some((src, msg)) = self.ep.recv_timeout(Duration::from_millis(2)) {
+                self.handle(src, msg);
+            }
+        }
+    }
+
+    /// Re-admits dead letters (grants whose destination died unacking)
+    /// and reclaims peers the transport declared dead.
+    fn recover_lost_frames(&mut self) {
+        for (dst, msg) in self.ep.take_dead_letters() {
+            if let ProcMsg::StealGrant { task } = msg {
+                self.clearinghouse
+                    .write_line(NodeId(dst.0), "dead-letter grant re-admitted");
+                if let Some(spec) = S::task_from_words(&task) {
+                    self.pool.push_back(spec);
+                    self.void_round();
+                }
+            }
+        }
+        for dst in self.ep.take_dead_peers() {
+            let id = u64::from(dst.0);
+            if self.live.contains_key(&id) {
+                self.reclaim_slot(id, "transport-dead");
+            }
+        }
+    }
+
+    fn handle(&mut self, src: NodeId, msg: ProcMsg) {
+        match msg {
+            ProcMsg::Hello { worker } => self.on_hello(src, worker),
+            ProcMsg::Heartbeat { worker, report } => self.on_heartbeat(src, worker, report),
+            ProcMsg::StealRequest { thief } => {
+                let reply = match self.pool.pop_front() {
+                    Some(task) => {
+                        self.void_round();
+                        ProcMsg::StealGrant {
+                            task: task.task_to_words(),
+                        }
+                    }
+                    None => ProcMsg::StealDeny,
+                };
+                let _ = thief; // the datagram source is authoritative
+                self.ep.send(src, &reply);
+            }
+            ProcMsg::ConfirmAck {
+                worker,
+                epoch,
+                report,
+                acc,
+            } => {
+                self.clearinghouse
+                    .heartbeat(NodeId(worker as u32), self.clock.now());
+                if let Some(slot) = self.live.get_mut(&worker) {
+                    slot.report = report;
+                }
+                if let Some(round) = self.round.as_mut() {
+                    if round.epoch == epoch {
+                        round.acks.insert(worker, (report, acc));
+                    }
+                }
+            }
+            ProcMsg::Goodbye {
+                worker,
+                report,
+                acc,
+                tasks,
+            } => self.on_goodbye(src, worker, report, acc, tasks),
+            ProcMsg::Spill { worker, task } => {
+                let _ = worker;
+                if let Some(spec) = S::task_from_words(&task) {
+                    self.pool.push_back(spec);
+                    self.void_round();
+                }
+            }
+            // Messages only workers receive; stale or misrouted here.
+            ProcMsg::Welcome { .. }
+            | ProcMsg::Peers { .. }
+            | ProcMsg::StealGrant { .. }
+            | ProcMsg::StealDeny
+            | ProcMsg::Confirm { .. }
+            | ProcMsg::GoodbyeAck
+            | ProcMsg::Done { .. } => {}
+        }
+    }
+
+    fn on_hello(&mut self, src: NodeId, worker: u64) {
+        if worker == DRIVER_NODE || u64::from(src.0) != worker {
+            return; // malformed join
+        }
+        let now = self.clock.now();
+        let newcomer = !self.live.contains_key(&worker);
+        self.clearinghouse.register(src, now);
+        if newcomer {
+            // Participation accounting: each worker slot requests the job
+            // from the pool, the paper's macro-level handshake.
+            let _ = self.jobq.request();
+            self.live.insert(worker, WorkerSlot::default());
+            self.any_joined = true;
+            self.void_round();
+        }
+        let welcome = ProcMsg::Welcome {
+            job: self.cfg.job_desc(),
+            peers: self.roster(),
+        };
+        self.ep.send(src, &welcome);
+        if newcomer {
+            self.broadcast_peers();
+        }
+    }
+
+    fn on_heartbeat(&mut self, src: NodeId, worker: u64, report: WorkerReport) {
+        let now = self.clock.now();
+        if let Some(slot) = self.live.get_mut(&worker) {
+            slot.report = report;
+            self.clearinghouse.heartbeat(src, now);
+        } else {
+            // A worker we crash-detected but which is actually alive:
+            // re-register it (self-healing; its counters were never
+            // folded into the departed totals, so the sums stay right).
+            self.clearinghouse.register(src, now);
+            self.live.insert(worker, WorkerSlot { report });
+            self.void_round();
+            self.broadcast_peers();
+        }
+    }
+
+    fn on_goodbye(
+        &mut self,
+        src: NodeId,
+        worker: u64,
+        report: WorkerReport,
+        acc: Vec<u64>,
+        tasks: Vec<Vec<u64>>,
+    ) {
+        if self.live.contains_key(&worker) {
+            self.departed_exec += report.executed;
+            self.departed_spawn += report.spawned;
+            self.departed += 1;
+            if let Some(partial) = S::acc_from_words(&acc) {
+                self.acc = S::merge(std::mem::replace(&mut self.acc, S::identity()), partial);
+            }
+            for task in tasks {
+                if let Some(spec) = S::task_from_words(&task) {
+                    self.pool.push_back(spec);
+                }
+            }
+            self.reclaim_slot(worker, "goodbye");
+        }
+        self.ep.send(src, &ProcMsg::GoodbyeAck);
+    }
+
+    /// Deregisters a departed worker's Clearinghouse slot, releases its
+    /// JobQ participation, and broadcasts the shrunken roster — the slot
+    /// is then free for a newcomer instead of leaking.
+    fn reclaim_slot(&mut self, worker: u64, reason: &str) {
+        if self.live.remove(&worker).is_none() {
+            return;
+        }
+        let node = NodeId(worker as u32);
+        self.clearinghouse
+            .write_line(node, format!("slot reclaimed: {reason}"));
+        self.clearinghouse.unregister(node);
+        self.jobq.release(self.job);
+        self.void_round();
+        self.broadcast_peers();
+    }
+
+    /// Membership or task placement changed: any in-progress confirmation
+    /// evidence is stale.
+    fn void_round(&mut self) {
+        self.round = None;
+        self.prev_counts = None;
+    }
+
+    fn roster(&self) -> Vec<PeerEntry> {
+        let mut peers = Vec::with_capacity(self.live.len() + 1);
+        if let Some(me) = PeerEntry::from_addr(DRIVER_NODE, self.ep.local_addr()) {
+            peers.push(me);
+        }
+        for id in self.live.keys() {
+            if let Some(addr) = self.ep.peer_addr(NodeId(*id as u32)) {
+                if let Some(entry) = PeerEntry::from_addr(*id, addr) {
+                    peers.push(entry);
+                }
+            }
+        }
+        peers
+    }
+
+    fn broadcast_peers(&mut self) {
+        let msg = ProcMsg::Peers {
+            version: self.clearinghouse.version(),
+            peers: self.roster(),
+        };
+        for id in self.live.keys().copied().collect::<Vec<_>>() {
+            self.ep.send(NodeId(id as u32), &msg);
+        }
+    }
+
+    /// Cumulative totals from the given per-worker reports.
+    fn totals<'a>(&self, reports: impl Iterator<Item = &'a WorkerReport>) -> (u64, u64) {
+        let mut exec = self.driver_exec + self.departed_exec;
+        let mut spawn = self.driver_spawn + self.departed_spawn;
+        for r in reports {
+            exec += r.executed;
+            spawn += r.spawned;
+        }
+        (exec, spawn)
+    }
+
+    /// Drives the double-confirm termination protocol; returns the
+    /// outcome once two consecutive rounds agree the job is over.
+    fn check_termination(&mut self) -> Option<DriverOutcome> {
+        if !self.pool.is_empty() {
+            return None;
+        }
+        // With nobody left, the counters alone decide (there is no one to
+        // confirm with, and no one who could still hold a task).
+        if self.live.is_empty() {
+            if !(self.any_joined || self.cfg.workers == 0) {
+                return None; // still waiting for the fleet to join
+            }
+            let (exec, spawn) = self.totals(std::iter::empty());
+            if exec == spawn {
+                return Some(self.finish(Vec::new()));
+            }
+            return None;
+        }
+        // Evaluate a completed round.
+        if let Some(round) = &self.round {
+            if round.acks.len() == self.live.len() {
+                let round = self.round.take().expect("just checked");
+                let all_idle = round.acks.values().all(|(r, _)| r.idle && r.queue_len == 0);
+                let (exec, spawn) = self.totals(round.acks.values().map(|(r, _)| r));
+                let balanced = exec == spawn;
+                if all_idle && balanced && self.pool.is_empty() {
+                    let counts: BTreeMap<u64, (u64, u64)> = round
+                        .acks
+                        .iter()
+                        .map(|(w, (r, _))| (*w, (r.executed, r.spawned)))
+                        .collect();
+                    if self.prev_counts.as_ref() == Some(&counts) {
+                        let accs: Vec<Vec<u64>> =
+                            round.acks.into_values().map(|(_, acc)| acc).collect();
+                        return Some(self.finish(accs));
+                    }
+                    self.prev_counts = Some(counts);
+                    self.start_round();
+                } else {
+                    self.prev_counts = None;
+                }
+            }
+            return None;
+        }
+        // Start a round when the heartbeat picture looks finished.
+        let all_idle = self
+            .live
+            .values()
+            .all(|s| s.report.idle && s.report.queue_len == 0);
+        if !all_idle || self.ep.in_flight() > 0 {
+            return None;
+        }
+        let (exec, spawn) = self.totals(self.live.values().map(|s| &s.report));
+        if exec != spawn {
+            return None;
+        }
+        self.start_round();
+        None
+    }
+
+    fn start_round(&mut self) {
+        self.epoch += 1;
+        let msg = ProcMsg::Confirm { epoch: self.epoch };
+        for id in self.live.keys().copied().collect::<Vec<_>>() {
+            self.ep.send(NodeId(id as u32), &msg);
+        }
+        self.round = Some(ConfirmRound {
+            epoch: self.epoch,
+            acks: HashMap::new(),
+        });
+    }
+
+    fn finish(&mut self, final_accs: Vec<Vec<u64>>) -> DriverOutcome {
+        let mut result = std::mem::replace(&mut self.acc, S::identity());
+        for words in final_accs {
+            if let Some(partial) = S::acc_from_words(&words) {
+                result = S::merge(result, partial);
+            }
+        }
+        let result_words = S::acc_to_words(&result);
+        let done = ProcMsg::Done {
+            result: result_words.clone(),
+        };
+        for id in self.live.keys().copied().collect::<Vec<_>>() {
+            self.ep.send(NodeId(id as u32), &done);
+        }
+        self.ep.quiesce(Duration::from_secs(2));
+        self.jobq.complete(self.job);
+        self.clearinghouse.flush_io();
+        DriverOutcome {
+            result: AppResult::decode(self.cfg.app, &result_words).expect("self-encoded result"),
+            net: self.ep.metrics(),
+            clearinghouse: self.clearinghouse.stats(),
+            jobq: self.jobq.stats(),
+            log: self.clearinghouse.output().to_vec(),
+            confirm_rounds: self.epoch,
+            departed: self.departed,
+        }
+    }
+}

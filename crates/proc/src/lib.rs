@@ -1,0 +1,39 @@
+//! # phish-proc — the multi-process runtime
+//!
+//! Everything below this crate runs the paper's scheduler inside one
+//! address space; this crate runs it across **real operating-system
+//! processes talking UDP**, the deployment shape the paper actually
+//! describes (a driver plus workers scattered over a network of
+//! workstations).
+//!
+//! Three layers:
+//!
+//! * [`proto`] — the wire protocol: join, roster, steal request/grant,
+//!   heartbeats, termination confirmation, graceful departure. Every
+//!   message round-trips through `phish-core::codec` words and the
+//!   `phish-net` byte framing.
+//! * [`driver`] / [`worker`] — the two process roles. The driver hosts
+//!   the macro-level services (JobQ, Clearinghouse) and detects
+//!   termination; workers run the same [`SchedulerCore`] kernel as the
+//!   in-process engines over a UDP [`Substrate`].
+//! * [`deploy`] — a harness that launches and supervises a local
+//!   1-driver/N-worker cluster for tests, benches, and examples.
+//!
+//! The binaries `phishd` and `phish-worker` are thin CLI shells over
+//! these layers.
+//!
+//! [`SchedulerCore`]: phish_core::kernel::SchedulerCore
+//! [`Substrate`]: phish_core::kernel::Substrate
+
+pub mod app;
+pub mod deploy;
+pub mod driver;
+pub mod proto;
+pub mod signal;
+pub mod worker;
+
+pub use app::{AppKind, AppResult};
+pub use deploy::{Deployment, Outcome, Running, WORKER_BIN_ENV};
+pub use driver::{Driver, DriverConfig, DriverOutcome, DRIVER_NODE};
+pub use proto::{JobDesc, PeerEntry, ProcMsg, WorkerReport};
+pub use worker::{run_worker, WorkerConfig, WorkerExit};

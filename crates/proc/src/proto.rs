@@ -1,0 +1,449 @@
+//! The driver/worker wire protocol.
+//!
+//! Every datagram the process runtime exchanges is one [`ProcMsg`],
+//! serialised through `phish-core::codec`'s [`WordCodec`] (a `u64` word
+//! stream, little-endian on the wire) and carried by
+//! `phish-net::udp`'s exactly-once transport. Bridging [`WordCodec`] to
+//! the transport's byte-level [`WireCodec`] here — rather than inventing a
+//! second serialisation — is what keeps the UDP wire format from drifting
+//! away from the in-memory messages: a task crosses the network in exactly
+//! the words its spec form encodes to.
+//!
+//! Tasks and partial results appear as *opaque word vectors* (`Vec<u64>`)
+//! at this layer: the protocol is generic over the application, and each
+//! side encodes/decodes the words with the concrete [`SpecTask`] type it
+//! was dispatched for (see [`crate::app`]).
+//!
+//! [`SpecTask`]: phish_core::SpecTask
+
+use phish_core::codec::{bytes_to_words, words_to_bytes, WordCodec, WordReader};
+use phish_net::WireCodec;
+
+/// One peer's identity and socket address as carried in rosters.
+///
+/// Addresses are IPv4 (the paper's 1994 LAN, and every loopback test);
+/// the ip is the big-endian `u32` form of the dotted quad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Node id (0 is always the driver).
+    pub id: u64,
+    /// IPv4 address octets as a big-endian u32.
+    pub ip: u32,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl PeerEntry {
+    /// Builds an entry from a socket address; `None` for IPv6.
+    pub fn from_addr(id: u64, addr: std::net::SocketAddr) -> Option<Self> {
+        match addr {
+            std::net::SocketAddr::V4(v4) => Some(Self {
+                id,
+                ip: u32::from(*v4.ip()),
+                port: v4.port(),
+            }),
+            std::net::SocketAddr::V6(_) => None,
+        }
+    }
+
+    /// The socket address this entry names.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        std::net::SocketAddr::V4(std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::from(self.ip),
+            self.port,
+        ))
+    }
+}
+
+impl WordCodec for PeerEntry {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.id);
+        out.push(u64::from(self.ip));
+        out.push(u64::from(self.port));
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some(Self {
+            id: r.word()?,
+            ip: u32::try_from(r.word()?).ok()?,
+            port: u16::try_from(r.word()?).ok()?,
+        })
+    }
+}
+
+/// The job a driver hands to joining workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobDesc {
+    /// Application id (see [`crate::app::AppKind`]).
+    pub app: u64,
+    /// Application argument (fib's `n`, pfold's chain length).
+    pub arg: u64,
+    /// Application spawn depth (pfold; ignored by fib).
+    pub depth: u64,
+    /// Job seed: workers derive their victim-selection RNG streams from
+    /// it exactly like the in-process engines (`worker_seed`).
+    pub seed: u64,
+    /// Total node count, driver included.
+    pub nodes: u64,
+}
+
+impl WordCodec for JobDesc {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.app);
+        out.push(self.arg);
+        out.push(self.depth);
+        out.push(self.seed);
+        out.push(self.nodes);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some(Self {
+            app: r.word()?,
+            arg: r.word()?,
+            depth: r.word()?,
+            seed: r.word()?,
+            nodes: r.word()?,
+        })
+    }
+}
+
+/// A worker's scheduling state as reported to the driver: the cumulative
+/// kernel counters plus instantaneous idleness. The driver's termination
+/// detection rests on these (see `crate::driver`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerReport {
+    /// Tasks executed so far (cumulative).
+    pub executed: u64,
+    /// Tasks spawned so far (cumulative).
+    pub spawned: u64,
+    /// True when the local ready list is empty and nothing is running.
+    pub idle: bool,
+    /// Local ready-list length.
+    pub queue_len: u64,
+}
+
+impl WordCodec for WorkerReport {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.executed);
+        out.push(self.spawned);
+        out.push(u64::from(self.idle));
+        out.push(self.queue_len);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some(Self {
+            executed: r.word()?,
+            spawned: r.word()?,
+            idle: match r.word()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+            queue_len: r.word()?,
+        })
+    }
+}
+
+/// Every message the process runtime puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcMsg {
+    /// Worker → driver: "I exist"; the driver learns the worker's address
+    /// from the datagram source.
+    Hello {
+        /// The worker's self-assigned node id (from its command line).
+        worker: u64,
+    },
+    /// Driver → worker: job parameters and the current roster.
+    Welcome {
+        /// The job to run.
+        job: JobDesc,
+        /// Everyone currently registered (including the driver, id 0).
+        peers: Vec<PeerEntry>,
+    },
+    /// Driver → workers: membership changed; here is the new roster.
+    Peers {
+        /// Roster version (the Clearinghouse's, monotone).
+        version: u64,
+        /// Current peers.
+        peers: Vec<PeerEntry>,
+    },
+    /// Worker → driver: liveness plus the cumulative scheduling counters.
+    Heartbeat {
+        /// Sender's node id.
+        worker: u64,
+        /// Scheduling state.
+        report: WorkerReport,
+    },
+    /// Thief → victim: one steal attempt.
+    StealRequest {
+        /// The thief's node id (reply address comes from the roster).
+        thief: u64,
+    },
+    /// Victim → thief: the oldest task from the victim's ready list
+    /// (FIFO steal end), as the spec's encoded words.
+    StealGrant {
+        /// The task, `WordCodec`-encoded.
+        task: Vec<u64>,
+    },
+    /// Victim → thief: nothing to steal.
+    StealDeny,
+    /// Driver → workers: termination-confirmation round `epoch`; reply
+    /// with a fresh [`ProcMsg::ConfirmAck`].
+    Confirm {
+        /// Round number.
+        epoch: u64,
+    },
+    /// Worker → driver: fresh counters plus the current partial result
+    /// (used as the final result when the round confirms termination).
+    ConfirmAck {
+        /// Sender's node id.
+        worker: u64,
+        /// The round being answered.
+        epoch: u64,
+        /// Fresh scheduling state.
+        report: WorkerReport,
+        /// The worker's accumulated partial output, encoded.
+        acc: Vec<u64>,
+    },
+    /// Worker → driver: graceful departure (SIGTERM). Carries the final
+    /// counters, the partial result, and the *spilled ready list* so no
+    /// task is lost; the driver re-admits the tasks to its pool.
+    Goodbye {
+        /// Sender's node id.
+        worker: u64,
+        /// Final counters.
+        report: WorkerReport,
+        /// Accumulated partial output, encoded.
+        acc: Vec<u64>,
+        /// The ready list, each task encoded.
+        tasks: Vec<Vec<u64>>,
+    },
+    /// Driver → worker: departure acknowledged; the slot was reclaimed.
+    GoodbyeAck,
+    /// Worker → driver: a single task re-homed outside a [`ProcMsg::Goodbye`]
+    /// (e.g. a steal grant that landed during shutdown).
+    Spill {
+        /// Sender's node id.
+        worker: u64,
+        /// The task, encoded.
+        task: Vec<u64>,
+    },
+    /// Driver → workers: the job is complete; exit cleanly. Carries the
+    /// final merged result for symmetric logging.
+    Done {
+        /// Final output, encoded.
+        result: Vec<u64>,
+    },
+}
+
+const TAG_HELLO: u64 = 1;
+const TAG_WELCOME: u64 = 2;
+const TAG_PEERS: u64 = 3;
+const TAG_HEARTBEAT: u64 = 4;
+const TAG_STEAL_REQUEST: u64 = 5;
+const TAG_STEAL_GRANT: u64 = 6;
+const TAG_STEAL_DENY: u64 = 7;
+const TAG_CONFIRM: u64 = 8;
+const TAG_CONFIRM_ACK: u64 = 9;
+const TAG_GOODBYE: u64 = 10;
+const TAG_GOODBYE_ACK: u64 = 11;
+const TAG_SPILL: u64 = 12;
+const TAG_DONE: u64 = 13;
+
+impl WordCodec for ProcMsg {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            ProcMsg::Hello { worker } => {
+                out.push(TAG_HELLO);
+                out.push(*worker);
+            }
+            ProcMsg::Welcome { job, peers } => {
+                out.push(TAG_WELCOME);
+                job.encode(out);
+                peers.encode(out);
+            }
+            ProcMsg::Peers { version, peers } => {
+                out.push(TAG_PEERS);
+                out.push(*version);
+                peers.encode(out);
+            }
+            ProcMsg::Heartbeat { worker, report } => {
+                out.push(TAG_HEARTBEAT);
+                out.push(*worker);
+                report.encode(out);
+            }
+            ProcMsg::StealRequest { thief } => {
+                out.push(TAG_STEAL_REQUEST);
+                out.push(*thief);
+            }
+            ProcMsg::StealGrant { task } => {
+                out.push(TAG_STEAL_GRANT);
+                task.encode(out);
+            }
+            ProcMsg::StealDeny => out.push(TAG_STEAL_DENY),
+            ProcMsg::Confirm { epoch } => {
+                out.push(TAG_CONFIRM);
+                out.push(*epoch);
+            }
+            ProcMsg::ConfirmAck {
+                worker,
+                epoch,
+                report,
+                acc,
+            } => {
+                out.push(TAG_CONFIRM_ACK);
+                out.push(*worker);
+                out.push(*epoch);
+                report.encode(out);
+                acc.encode(out);
+            }
+            ProcMsg::Goodbye {
+                worker,
+                report,
+                acc,
+                tasks,
+            } => {
+                out.push(TAG_GOODBYE);
+                out.push(*worker);
+                report.encode(out);
+                acc.encode(out);
+                tasks.encode(out);
+            }
+            ProcMsg::GoodbyeAck => out.push(TAG_GOODBYE_ACK),
+            ProcMsg::Spill { worker, task } => {
+                out.push(TAG_SPILL);
+                out.push(*worker);
+                task.encode(out);
+            }
+            ProcMsg::Done { result } => {
+                out.push(TAG_DONE);
+                result.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        Some(match r.word()? {
+            TAG_HELLO => ProcMsg::Hello { worker: r.word()? },
+            TAG_WELCOME => ProcMsg::Welcome {
+                job: JobDesc::decode(r)?,
+                peers: Vec::decode(r)?,
+            },
+            TAG_PEERS => ProcMsg::Peers {
+                version: r.word()?,
+                peers: Vec::decode(r)?,
+            },
+            TAG_HEARTBEAT => ProcMsg::Heartbeat {
+                worker: r.word()?,
+                report: WorkerReport::decode(r)?,
+            },
+            TAG_STEAL_REQUEST => ProcMsg::StealRequest { thief: r.word()? },
+            TAG_STEAL_GRANT => ProcMsg::StealGrant {
+                task: Vec::decode(r)?,
+            },
+            TAG_STEAL_DENY => ProcMsg::StealDeny,
+            TAG_CONFIRM => ProcMsg::Confirm { epoch: r.word()? },
+            TAG_CONFIRM_ACK => ProcMsg::ConfirmAck {
+                worker: r.word()?,
+                epoch: r.word()?,
+                report: WorkerReport::decode(r)?,
+                acc: Vec::decode(r)?,
+            },
+            TAG_GOODBYE => ProcMsg::Goodbye {
+                worker: r.word()?,
+                report: WorkerReport::decode(r)?,
+                acc: Vec::decode(r)?,
+                tasks: Vec::decode(r)?,
+            },
+            TAG_GOODBYE_ACK => ProcMsg::GoodbyeAck,
+            TAG_SPILL => ProcMsg::Spill {
+                worker: r.word()?,
+                task: Vec::decode(r)?,
+            },
+            TAG_DONE => ProcMsg::Done {
+                result: Vec::decode(r)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl WireCodec for ProcMsg {
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut words = Vec::new();
+        WordCodec::encode(self, &mut words);
+        words_to_bytes(&words)
+    }
+
+    fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        let words = bytes_to_words(bytes)?;
+        let mut r = WordReader::new(&words);
+        let msg = WordCodec::decode(&mut r)?;
+        // A frame must be exactly one message; trailing words mean
+        // corruption or format drift.
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// Encodes any `WordCodec` value to its word vector (the form tasks and
+/// accumulators travel in inside [`ProcMsg`]).
+pub fn to_words<T: WordCodec>(value: &T) -> Vec<u64> {
+    let mut words = Vec::new();
+    value.encode(&mut words);
+    words
+}
+
+/// Decodes a value from a word vector produced by [`to_words`],
+/// requiring the words to be exactly consumed.
+pub fn from_words<T: WordCodec>(words: &[u64]) -> Option<T> {
+    let mut r = WordReader::new(words);
+    let value = T::decode(&mut r)?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_is_word_codec_through_bytes() {
+        let msg = ProcMsg::Heartbeat {
+            worker: 3,
+            report: WorkerReport {
+                executed: 10,
+                spawned: 9,
+                idle: true,
+                queue_len: 0,
+            },
+        };
+        let bytes = msg.encode_bytes();
+        assert_eq!(bytes.len() % 8, 0, "wire form is whole words");
+        assert_eq!(ProcMsg::decode_bytes(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = ProcMsg::StealDeny.encode_bytes();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert_eq!(ProcMsg::decode_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bytes = words_to_bytes(&[999]);
+        assert_eq!(ProcMsg::decode_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn peer_entry_addr_roundtrip() {
+        let addr: std::net::SocketAddr = "127.0.0.1:4242".parse().unwrap();
+        let e = PeerEntry::from_addr(7, addr).unwrap();
+        assert_eq!(e.addr(), addr);
+    }
+}

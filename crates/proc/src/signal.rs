@@ -1,0 +1,71 @@
+//! Minimal SIGTERM/SIGINT latch.
+//!
+//! The worker binary must turn SIGTERM into a *graceful* departure — spill
+//! the ready list, send `Goodbye`, let the driver reclaim the slot — which
+//! means the handler can only set a flag for the scheduling loop to notice
+//! between tasks. The workspace vendors no `libc`, so the registration is
+//! a direct FFI call to `signal(2)`, the one C function this needs; the
+//! handler itself is a single relaxed store, trivially async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix builds run without signal-triggered shutdown (the driver
+    /// heartbeat path still provides orderly exit).
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler. Idempotent.
+pub fn install_term_handler() {
+    imp::install();
+}
+
+/// True once SIGTERM/SIGINT has been received.
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Sets the termination flag programmatically (tests, driver-initiated
+/// local shutdown).
+pub fn request_term() {
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_flag() {
+        install_term_handler();
+        request_term();
+        assert!(term_requested());
+    }
+}

@@ -1,0 +1,471 @@
+//! The worker process: the work-stealing kernel over a UDP substrate.
+//!
+//! `phish-worker` joins a driver, registers (Hello → Welcome), and then
+//! runs the **same scheduling kernel as every in-process engine** —
+//! [`SchedulerCore::run`] over a [`Substrate`] — so the paper's discipline
+//! (LIFO execution, FIFO steals, uniformly random victims, seeded by
+//! `worker_seed`) is not re-implemented, just re-plumbed:
+//!
+//! * local work is a `VecDeque` of spec tasks (push/pop front = LIFO
+//!   execution; grants pop from the back = FIFO steal end);
+//! * `try_steal` is the paper's split-phase request/grant/deny exchange
+//!   over real datagrams. The thief keeps servicing its own inbound
+//!   protocol while the request is in flight (answering other thieves
+//!   with denials — which is what makes simultaneous mutual steals
+//!   deadlock-free) and gives up after a timeout;
+//! * `drain` is the housekeeping hook: heartbeats, roster updates,
+//!   termination-confirmation acks, and the two shutdown paths.
+//!
+//! Shutdown is where a real process differs from a thread. On SIGTERM the
+//! worker finishes the task in hand, waits out any steal it has in
+//! flight, then sends [`ProcMsg::Goodbye`] carrying its counters, partial
+//! result, and **entire spilled ready list** — the driver re-admits the
+//! tasks and reclaims the Clearinghouse slot, so a departing worker costs
+//! the job nothing but time. If the *driver* disappears (its datagrams go
+//! unacknowledged past the retry budget), the worker exits on its own:
+//! there is nobody left to give work back to.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+use phish_core::codec::WordCodec;
+use phish_core::kernel::{
+    KernelCtl, SchedulerCore, SpecSink, SpecWorkload, StealAttempt, Substrate,
+};
+use phish_core::{SpecTask, VictimPolicy, WorkerId};
+use phish_net::{NodeId, UdpConfig, UdpEndpoint};
+
+use crate::app::{dispatch, AppCall, AppKind, WireApp};
+use crate::driver::DRIVER_NODE;
+use crate::proto::{JobDesc, PeerEntry, ProcMsg, WorkerReport};
+
+/// Worker configuration (everything a `phish-worker` process needs).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// This worker's node id (1-based; 0 is the driver).
+    pub id: u64,
+    /// The driver's address.
+    pub driver: SocketAddr,
+    /// UDP transport configuration.
+    pub udp: UdpConfig,
+    /// Heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// How long one steal request waits for its grant/denial.
+    pub steal_timeout: Duration,
+    /// How long to keep retrying the initial Hello before giving up.
+    pub join_timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// Defaults for a loopback worker.
+    pub fn new(id: u64, driver: SocketAddr) -> Self {
+        Self {
+            id,
+            driver,
+            udp: UdpConfig::lan(),
+            heartbeat_interval: Duration::from_millis(25),
+            steal_timeout: Duration::from_millis(50),
+            join_timeout: Duration::from_secs(15),
+        }
+    }
+
+    /// Overrides the UDP transport configuration.
+    pub fn with_udp(mut self, udp: UdpConfig) -> Self {
+        self.udp = udp;
+        self
+    }
+}
+
+/// Why the worker stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The driver declared the job complete.
+    JobDone,
+    /// SIGTERM: departed gracefully, ready list spilled to the driver.
+    Terminated,
+    /// The driver stopped acknowledging; nothing left to participate in.
+    DriverGone,
+    /// The driver never answered the join handshake.
+    JoinFailed,
+}
+
+impl WorkerExit {
+    /// A process exit code: clean exits are 0.
+    pub fn code(self) -> i32 {
+        match self {
+            WorkerExit::JobDone | WorkerExit::Terminated => 0,
+            WorkerExit::DriverGone => 3,
+            WorkerExit::JoinFailed => 4,
+        }
+    }
+}
+
+/// Joins the driver and runs the work-stealing kernel to completion.
+pub fn run_worker(cfg: WorkerConfig) -> io::Result<WorkerExit> {
+    let ep = UdpEndpoint::<ProcMsg>::bind(NodeId(cfg.id as u32), cfg.udp)?;
+    ep.add_peer(NodeId(DRIVER_NODE as u32), cfg.driver);
+    // Join handshake: Hello until Welcome (the transport retransmits,
+    // but a driver that starts *after* us needs a fresh Hello).
+    let join_deadline = Instant::now() + cfg.join_timeout;
+    let mut welcome: Option<(JobDesc, Vec<PeerEntry>)> = None;
+    while welcome.is_none() {
+        if Instant::now() > join_deadline {
+            return Ok(WorkerExit::JoinFailed);
+        }
+        ep.send(
+            NodeId(DRIVER_NODE as u32),
+            &ProcMsg::Hello { worker: cfg.id },
+        );
+        let wait = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < wait {
+            match ep.recv_timeout(Duration::from_millis(50)) {
+                Some((_, ProcMsg::Welcome { job, peers })) => {
+                    welcome = Some((job, peers));
+                    break;
+                }
+                Some(_) => {}
+                None => {}
+            }
+            if !ep.take_dead_peers().is_empty() {
+                return Ok(WorkerExit::JoinFailed);
+            }
+        }
+    }
+    let (job, peers) = welcome.expect("joined");
+    let Some(app) = AppKind::from_u64(job.app) else {
+        return Ok(WorkerExit::JoinFailed);
+    };
+
+    struct Run {
+        ep: UdpEndpoint<ProcMsg>,
+        cfg: WorkerConfig,
+        job: JobDesc,
+        peers: Vec<PeerEntry>,
+    }
+    impl AppCall<WorkerExit> for Run {
+        fn call<S: WireApp>(self) -> WorkerExit
+        where
+            S::Output: WordCodec + PartialEq,
+        {
+            let mut sub = ProcSubstrate::<S>::new(self.ep, self.cfg, &self.job, &self.peers);
+            SchedulerCore::new().run(&mut sub);
+            sub.exit
+        }
+    }
+    Ok(dispatch(
+        app,
+        Run {
+            ep,
+            cfg,
+            job,
+            peers,
+        },
+    ))
+}
+
+/// The UDP substrate the kernel schedules over.
+struct ProcSubstrate<S: WireApp>
+where
+    S::Output: WordCodec + PartialEq,
+{
+    ep: UdpEndpoint<ProcMsg>,
+    cfg: WorkerConfig,
+    ctl: KernelCtl,
+    queue: VecDeque<S>,
+    acc: S::Output,
+    /// Live peer ids (driver included, self excluded), from the roster.
+    peers: Vec<u64>,
+    roster_version: u64,
+    last_heartbeat: Instant,
+    exit: WorkerExit,
+    done: bool,
+}
+
+/// Routes one stepped task's effects into the local queue/accumulator.
+struct LocalSink<'a, S: SpecTask> {
+    queue: &'a mut VecDeque<S>,
+    acc: &'a mut S::Output,
+    spawned: u64,
+}
+
+impl<S: SpecTask> SpecSink<S> for LocalSink<'_, S> {
+    fn merge(&mut self, out: S::Output) {
+        *self.acc = S::merge(std::mem::replace(self.acc, S::identity()), out);
+    }
+
+    fn spawn(&mut self, children: Vec<S>) {
+        self.spawned += children.len() as u64;
+        // Newest at the head: LIFO execution order.
+        for c in children {
+            self.queue.push_front(c);
+        }
+    }
+
+    fn finished(&mut self) {}
+}
+
+impl<S: WireApp> ProcSubstrate<S>
+where
+    S::Output: WordCodec + PartialEq,
+{
+    fn new(
+        ep: UdpEndpoint<ProcMsg>,
+        cfg: WorkerConfig,
+        job: &JobDesc,
+        peers: &[PeerEntry],
+    ) -> Self {
+        let mut sub = Self {
+            ep,
+            cfg,
+            ctl: KernelCtl::new(
+                cfg.id as WorkerId,
+                job.nodes as usize,
+                VictimPolicy::UniformRandom,
+                job.seed,
+            ),
+            queue: VecDeque::new(),
+            acc: S::identity(),
+            peers: Vec::new(),
+            roster_version: 0,
+            last_heartbeat: Instant::now(),
+            exit: WorkerExit::JobDone,
+            done: false,
+        };
+        sub.apply_roster(0, peers);
+        sub
+    }
+
+    fn report(&self) -> WorkerReport {
+        WorkerReport {
+            executed: self.ctl.stats.tasks_executed,
+            spawned: self.ctl.stats.tasks_spawned,
+            idle: self.queue.is_empty(),
+            queue_len: self.queue.len() as u64,
+        }
+    }
+
+    fn driver(&self) -> NodeId {
+        NodeId(DRIVER_NODE as u32)
+    }
+
+    fn apply_roster(&mut self, version: u64, peers: &[PeerEntry]) {
+        if version < self.roster_version {
+            return; // stale broadcast
+        }
+        self.roster_version = version;
+        self.peers.clear();
+        for p in peers {
+            if p.id != self.cfg.id {
+                self.ep.add_peer(NodeId(p.id as u32), p.addr());
+                self.peers.push(p.id);
+            }
+        }
+    }
+
+    fn heartbeat_if_due(&mut self) {
+        if self.last_heartbeat.elapsed() >= self.cfg.heartbeat_interval {
+            self.last_heartbeat = Instant::now();
+            let msg = ProcMsg::Heartbeat {
+                worker: self.cfg.id,
+                report: self.report(),
+            };
+            self.ep.send(self.driver(), &msg);
+        }
+    }
+
+    /// Handles one inbound message. Returns the grant/denial verdict when
+    /// the message resolves a steal this worker has in flight.
+    fn on_msg(&mut self, src: NodeId, msg: ProcMsg) -> Option<StealAttempt<S>> {
+        match msg {
+            ProcMsg::StealRequest { thief: _ } => {
+                // FIFO steal end: the oldest task sits at the back.
+                let reply = match self.queue.pop_back() {
+                    Some(task) => ProcMsg::StealGrant {
+                        task: task.task_to_words(),
+                    },
+                    None => ProcMsg::StealDeny,
+                };
+                self.ep.send(src, &reply);
+                None
+            }
+            ProcMsg::StealGrant { task } => match S::task_from_words(&task) {
+                Some(spec) => Some(StealAttempt::Got(spec)),
+                None => Some(StealAttempt::Empty),
+            },
+            ProcMsg::StealDeny => Some(StealAttempt::Empty),
+            ProcMsg::Peers { version, peers } => {
+                self.apply_roster(version, &peers);
+                None
+            }
+            ProcMsg::Confirm { epoch } => {
+                let ack = ProcMsg::ConfirmAck {
+                    worker: self.cfg.id,
+                    epoch,
+                    report: self.report(),
+                    acc: S::acc_to_words(&self.acc),
+                };
+                self.ep.send(self.driver(), &ack);
+                None
+            }
+            ProcMsg::Done { .. } => {
+                self.done = true;
+                self.exit = WorkerExit::JobDone;
+                None
+            }
+            ProcMsg::Welcome { .. } => None, // duplicate join reply
+            // Driver-bound messages; nothing for a worker to do.
+            ProcMsg::Hello { .. }
+            | ProcMsg::Heartbeat { .. }
+            | ProcMsg::ConfirmAck { .. }
+            | ProcMsg::Goodbye { .. }
+            | ProcMsg::GoodbyeAck
+            | ProcMsg::Spill { .. } => None,
+        }
+    }
+
+    /// True when the driver has stopped acknowledging us.
+    fn driver_gone(&mut self) -> bool {
+        self.ep
+            .take_dead_peers()
+            .contains(&NodeId(DRIVER_NODE as u32))
+    }
+
+    /// The graceful SIGTERM path: resolve in-flight steals, spill the
+    /// ready list to the driver, wait for the slot to be reclaimed.
+    fn depart(&mut self) {
+        // A grant could be racing toward us from an earlier request;
+        // give it one steal-timeout to land so it is spilled, not lost.
+        let grace = Instant::now() + self.cfg.steal_timeout;
+        while Instant::now() < grace {
+            if let Some((src, msg)) = self.ep.recv_timeout(Duration::from_millis(5)) {
+                if let Some(StealAttempt::Got(spec)) = self.on_msg(src, msg) {
+                    self.queue.push_front(spec);
+                }
+            }
+        }
+        let goodbye = ProcMsg::Goodbye {
+            worker: self.cfg.id,
+            report: self.report(),
+            acc: S::acc_to_words(&self.acc),
+            tasks: self.queue.drain(..).map(|t| t.task_to_words()).collect(),
+        };
+        self.ep.send(self.driver(), &goodbye);
+        // Wait for the reclaim acknowledgement, still re-homing any task
+        // that slips in (straggler grants) via individual spills.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match self.ep.recv_timeout(Duration::from_millis(5)) {
+                Some((_, ProcMsg::GoodbyeAck)) => break,
+                Some((src, msg)) => {
+                    if let Some(StealAttempt::Got(spec)) = self.on_msg(src, msg) {
+                        let spill = ProcMsg::Spill {
+                            worker: self.cfg.id,
+                            task: spec.task_to_words(),
+                        };
+                        self.ep.send(self.driver(), &spill);
+                    }
+                }
+                None => {}
+            }
+            if self.driver_gone() {
+                break;
+            }
+        }
+        self.ep.quiesce(Duration::from_secs(2));
+        self.exit = WorkerExit::Terminated;
+    }
+}
+
+impl<S: WireApp> Substrate for ProcSubstrate<S>
+where
+    S::Output: WordCodec + PartialEq,
+{
+    type Load = SpecWorkload<S>;
+
+    fn ctl(&mut self) -> &mut KernelCtl {
+        &mut self.ctl
+    }
+
+    fn done(&self) -> bool {
+        self.done
+    }
+
+    fn drain(&mut self) -> ControlFlow<()> {
+        while let Some((src, msg)) = self.ep.try_recv() {
+            // A grant arriving outside `try_steal` is a straggler from a
+            // timed-out attempt: the task is real, admit it.
+            if let Some(StealAttempt::Got(spec)) = self.on_msg(src, msg) {
+                self.queue.push_front(spec);
+            }
+        }
+        if crate::signal::term_requested() {
+            self.depart();
+            return ControlFlow::Break(());
+        }
+        if self.driver_gone() {
+            self.exit = WorkerExit::DriverGone;
+            return ControlFlow::Break(());
+        }
+        self.heartbeat_if_due();
+        ControlFlow::Continue(())
+    }
+
+    fn pop_local(&mut self) -> Option<S> {
+        self.queue.pop_front()
+    }
+
+    fn victim_candidates(&mut self, buf: &mut Vec<WorkerId>) {
+        buf.extend(self.peers.iter().map(|id| *id as WorkerId));
+    }
+
+    fn try_steal(&mut self, victim: WorkerId) -> StealAttempt<S> {
+        let victim_node = NodeId(victim as u32);
+        if !self
+            .ep
+            .send(victim_node, &ProcMsg::StealRequest { thief: self.cfg.id })
+        {
+            return StealAttempt::Empty; // no address for the victim
+        }
+        let deadline = Instant::now() + self.cfg.steal_timeout;
+        while Instant::now() < deadline {
+            if self.done || crate::signal::term_requested() {
+                return StealAttempt::Empty;
+            }
+            if let Some((src, msg)) = self.ep.recv_timeout(Duration::from_millis(2)) {
+                if let Some(verdict) = self.on_msg(src, msg) {
+                    return verdict;
+                }
+            }
+            self.heartbeat_if_due();
+        }
+        StealAttempt::Empty
+    }
+
+    fn admit(&mut self, loot: S) {
+        self.queue.push_front(loot);
+    }
+
+    fn execute(&mut self, work: S) -> ControlFlow<()> {
+        self.ctl.note_exec();
+        let spawned = {
+            let mut sink = LocalSink {
+                queue: &mut self.queue,
+                acc: &mut self.acc,
+                spawned: 0,
+            };
+            <SpecWorkload<S> as phish_core::kernel::Workload>::execute(work, &mut sink);
+            sink.spawned
+        };
+        self.ctl.note_spawn(spawned);
+        ControlFlow::Continue(())
+    }
+
+    fn idle(&mut self) {
+        // Real sockets: blocking in recv *is* the idle wait; a short
+        // sleep here only bounds the retry rate when everyone is empty.
+        std::thread::sleep(Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests: a real driver plus real `phish-worker` OS processes
+//! exchanging real datagrams over loopback UDP.
+//!
+//! These are the acceptance tests for the process runtime: results must
+//! be **bit-identical** to the in-process engines, injected datagram loss
+//! must be absorbed by the transport (visible only as retransmission
+//! counters), and a SIGTERM'd worker must depart without losing a task.
+
+use std::time::Duration;
+
+use phish_apps::{FibSpec, PfoldSpec};
+use phish_core::{run_serial, SchedulerConfig, SpecEngine};
+use phish_net::{LossyConfig, UdpConfig};
+use phish_proc::{AppKind, AppResult, Deployment, DriverConfig};
+
+/// The worker binary cargo built alongside this test.
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_phish-worker");
+
+fn local(app: AppKind, arg: u64, workers: usize) -> Deployment {
+    Deployment::local(app, arg, workers).with_worker_bin(WORKER_BIN)
+}
+
+#[test]
+fn fib_across_five_processes_matches_in_process_engines() {
+    let n = 18;
+    let outcome = local(AppKind::Fib, n, 4).run().expect("cluster run");
+    let serial = run_serial(FibSpec { n });
+    let (engine, _) = SpecEngine::run(SchedulerConfig::paper(4), FibSpec { n });
+    assert_eq!(outcome.driver.result, AppResult::Fib(serial));
+    assert_eq!(outcome.driver.result, AppResult::Fib(engine));
+    // Every worker that ran exited cleanly after the driver's Done.
+    for (i, code) in outcome.worker_exits.iter().enumerate() {
+        assert_eq!(*code, Some(0), "worker {} exit", i + 1);
+    }
+    // The macro services saw the whole fleet come and go.
+    assert_eq!(outcome.driver.clearinghouse.registrations, 4);
+    assert!(outcome.driver.confirm_rounds >= 2, "double-confirm ran");
+}
+
+#[test]
+fn pfold_across_five_processes_matches_serial_histogram() {
+    let depth = 6;
+    let outcome = local(AppKind::Pfold, 12, 4)
+        .with_config(DriverConfig::local(AppKind::Pfold, 12, 4).with_depth(depth))
+        .run()
+        .expect("cluster run");
+    let serial = run_serial(PfoldSpec::new(12, depth as usize));
+    assert_eq!(outcome.driver.result, AppResult::Pfold(serial));
+}
+
+#[test]
+fn injected_loss_is_absorbed_exactly_once() {
+    // ~8% of every datagram (both directions: the driver's faults are
+    // mirrored into the workers' command lines by the harness) dropped at
+    // send time; the run must still produce the exact answer, with the
+    // loss visible only as retransmissions.
+    let n = 16;
+    let cfg = DriverConfig::local(AppKind::Fib, n, 4)
+        .with_udp(UdpConfig::lan().with_faults(LossyConfig::dropping(0.08, 0xBAD)));
+    let outcome = local(AppKind::Fib, n, 4)
+        .with_config(cfg)
+        .run()
+        .expect("lossy cluster run");
+    assert_eq!(
+        outcome.driver.result,
+        AppResult::Fib(run_serial(FibSpec { n }))
+    );
+    let net = outcome.driver.net;
+    assert!(net.messages_dropped > 0, "faults actually fired: {net:?}");
+    assert!(
+        net.retransmissions > 0,
+        "loss shows up as retransmissions: {net:?}"
+    );
+}
+
+#[test]
+fn sigterm_mid_run_departs_gracefully_without_losing_tasks() {
+    // A job big enough (a few million tree nodes) to still be in flight
+    // when the signal lands.
+    let n = 31;
+    let mut running = local(AppKind::Fib, n, 4).launch().expect("launch");
+    std::thread::sleep(Duration::from_millis(120));
+    running.kill_worker(2).expect("SIGTERM worker 3");
+    let outcome = running.wait().expect("run completes without worker 3");
+    // Exactly-once despite the departure: the spilled ready list was
+    // re-admitted, nothing double-counted.
+    assert_eq!(
+        outcome.driver.result,
+        AppResult::Fib(run_serial(FibSpec { n }))
+    );
+    // The departed worker's Clearinghouse slot was reclaimed.
+    assert!(
+        outcome.driver.departed >= 1,
+        "worker departed mid-run: {:?}",
+        outcome.driver
+    );
+    assert!(
+        outcome.driver.clearinghouse.unregistrations >= 1,
+        "slot reclaimed: {:?}",
+        outcome.driver.clearinghouse
+    );
+    // SIGTERM is a *clean* exit for a worker.
+    assert_eq!(outcome.worker_exits[2], Some(0));
+}
+
+#[test]
+fn zero_workers_falls_back_to_serial_driver() {
+    let n = 12;
+    let outcome = local(AppKind::Fib, n, 0).run().expect("serial fallback");
+    assert_eq!(
+        outcome.driver.result,
+        AppResult::Fib(run_serial(FibSpec { n }))
+    );
+    assert!(outcome.worker_exits.is_empty());
+}

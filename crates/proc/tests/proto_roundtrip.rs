@@ -1,0 +1,190 @@
+//! Property tests: every [`ProcMsg`] variant round-trips through the
+//! `phish-core::codec` word stream and the byte framing the UDP
+//! transport actually puts on the wire.
+
+use phish_net::WireCodec;
+use phish_proc::proto::{from_words, to_words, JobDesc, PeerEntry, ProcMsg, WorkerReport};
+use proptest::prelude::*;
+
+fn words() -> BoxedStrategy<Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..8).boxed()
+}
+
+fn peer() -> BoxedStrategy<PeerEntry> {
+    (any::<u64>(), any::<u32>(), any::<u16>())
+        .prop_map(|(id, ip, port)| PeerEntry { id, ip, port })
+        .boxed()
+}
+
+fn peers() -> BoxedStrategy<Vec<PeerEntry>> {
+    prop::collection::vec(peer(), 0..6).boxed()
+}
+
+fn job() -> BoxedStrategy<JobDesc> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(app, arg, depth, seed, nodes)| JobDesc {
+            app,
+            arg,
+            depth,
+            seed,
+            nodes,
+        })
+        .boxed()
+}
+
+fn report() -> BoxedStrategy<WorkerReport> {
+    (any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>())
+        .prop_map(|(executed, spawned, idle, queue_len)| WorkerReport {
+            executed,
+            spawned,
+            idle,
+            queue_len,
+        })
+        .boxed()
+}
+
+/// A strategy producing all thirteen protocol variants.
+fn msg() -> BoxedStrategy<ProcMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|worker| ProcMsg::Hello { worker }),
+        (job(), peers()).prop_map(|(job, peers)| ProcMsg::Welcome { job, peers }),
+        (any::<u64>(), peers()).prop_map(|(version, peers)| ProcMsg::Peers { version, peers }),
+        (any::<u64>(), report()).prop_map(|(worker, report)| ProcMsg::Heartbeat { worker, report }),
+        any::<u64>().prop_map(|thief| ProcMsg::StealRequest { thief }),
+        words().prop_map(|task| ProcMsg::StealGrant { task }),
+        Just(ProcMsg::StealDeny),
+        any::<u64>().prop_map(|epoch| ProcMsg::Confirm { epoch }),
+        (any::<u64>(), any::<u64>(), report(), words()).prop_map(|(worker, epoch, report, acc)| {
+            ProcMsg::ConfirmAck {
+                worker,
+                epoch,
+                report,
+                acc,
+            }
+        }),
+        (
+            any::<u64>(),
+            report(),
+            words(),
+            prop::collection::vec(words(), 0..4)
+        )
+            .prop_map(|(worker, report, acc, tasks)| ProcMsg::Goodbye {
+                worker,
+                report,
+                acc,
+                tasks,
+            }),
+        Just(ProcMsg::GoodbyeAck),
+        (any::<u64>(), words()).prop_map(|(worker, task)| ProcMsg::Spill { worker, task }),
+        words().prop_map(|result| ProcMsg::Done { result }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_message_roundtrips_through_wire_bytes(m in msg()) {
+        let bytes = m.encode_bytes();
+        prop_assert_eq!(bytes.len() % 8, 0, "wire frames are whole little-endian words");
+        prop_assert_eq!(ProcMsg::decode_bytes(&bytes), Some(m));
+    }
+
+    #[test]
+    fn every_message_roundtrips_through_codec_words(m in msg()) {
+        let words = to_words(&m);
+        prop_assert_eq!(from_words::<ProcMsg>(&words), Some(m));
+    }
+
+    #[test]
+    fn truncated_frames_never_decode_to_a_message(m in msg()) {
+        let bytes = m.encode_bytes();
+        // Chopping any non-zero number of trailing bytes must fail the
+        // decode (either the length check or an exhausted reader), never
+        // silently yield a different message.
+        for cut in 1..bytes.len().min(24) {
+            let truncated = &bytes[..bytes.len() - cut];
+            prop_assert!(
+                ProcMsg::decode_bytes(truncated).is_none(),
+                "truncated frame decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn report_and_job_structs_roundtrip(r in report(), j in job(), p in peer()) {
+        prop_assert_eq!(from_words::<WorkerReport>(&to_words(&r)), Some(r));
+        prop_assert_eq!(from_words::<JobDesc>(&to_words(&j)), Some(j));
+        prop_assert_eq!(from_words::<PeerEntry>(&to_words(&p)), Some(p));
+    }
+}
+
+/// Pins one deterministic exemplar of every variant so a strategy change
+/// can never silently stop covering one of them.
+#[test]
+fn all_thirteen_variants_roundtrip() {
+    let report = WorkerReport {
+        executed: 5,
+        spawned: 5,
+        idle: true,
+        queue_len: 0,
+    };
+    let job = JobDesc {
+        app: 1,
+        arg: 20,
+        depth: 4,
+        seed: 0x5EED,
+        nodes: 5,
+    };
+    let peer = PeerEntry {
+        id: 1,
+        ip: 0x7F00_0001,
+        port: 4242,
+    };
+    let exemplars = vec![
+        ProcMsg::Hello { worker: 1 },
+        ProcMsg::Welcome {
+            job,
+            peers: vec![peer],
+        },
+        ProcMsg::Peers {
+            version: 3,
+            peers: vec![peer],
+        },
+        ProcMsg::Heartbeat { worker: 1, report },
+        ProcMsg::StealRequest { thief: 2 },
+        ProcMsg::StealGrant { task: vec![9, 9] },
+        ProcMsg::StealDeny,
+        ProcMsg::Confirm { epoch: 7 },
+        ProcMsg::ConfirmAck {
+            worker: 1,
+            epoch: 7,
+            report,
+            acc: vec![55],
+        },
+        ProcMsg::Goodbye {
+            worker: 1,
+            report,
+            acc: vec![55],
+            tasks: vec![vec![9], vec![8]],
+        },
+        ProcMsg::GoodbyeAck,
+        ProcMsg::Spill {
+            worker: 1,
+            task: vec![9],
+        },
+        ProcMsg::Done { result: vec![6765] },
+    ];
+    assert_eq!(exemplars.len(), 13, "one exemplar per variant");
+    for m in exemplars {
+        let bytes = m.encode_bytes();
+        assert_eq!(ProcMsg::decode_bytes(&bytes), Some(m));
+    }
+}

@@ -1,0 +1,76 @@
+//! One driver and N worker *processes* over real loopback UDP — the
+//! paper's actual deployment shape, in miniature.
+//!
+//! The harness binds a `phishd` driver endpoint in this process, spawns N
+//! `phish-worker` child processes pointed at it, runs fib(n) across the
+//! fleet with the same work-stealing kernel every in-process engine uses,
+//! and verifies the answer against the serial elision. With a drop
+//! probability the datagrams really are lost and really are retransmitted
+//! — the counters printed at the end are the proof.
+//!
+//! ```sh
+//! cargo build --release -p phish-proc   # the workers are real binaries
+//! cargo run --release --example udp_cluster [workers] [n] [drop]
+//! ```
+
+use phish::apps::FibSpec;
+use phish::net::{LossyConfig, UdpConfig};
+use phish::proc::{AppKind, AppResult, Deployment, DriverConfig};
+use phish::scheduler::run_serial;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let drop_prob: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.05);
+
+    println!(
+        "udp cluster: 1 driver + {workers} worker processes, fib({n}), {:.0}% datagram loss",
+        drop_prob * 100.0
+    );
+
+    let mut cfg = DriverConfig::local(AppKind::Fib, n, workers);
+    if drop_prob > 0.0 {
+        cfg = cfg.with_udp(UdpConfig::lan().with_faults(LossyConfig::dropping(drop_prob, 0xF15)));
+    }
+    let outcome = match Deployment::local(AppKind::Fib, n, workers)
+        .with_config(cfg)
+        .run()
+    {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("cluster failed: {e}");
+            eprintln!("(build the workers first: cargo build --release -p phish-proc)");
+            std::process::exit(1);
+        }
+    };
+
+    println!("\nresult: {}", outcome.driver.result.display());
+    let serial = run_serial(FibSpec { n });
+    assert_eq!(
+        outcome.driver.result,
+        AppResult::Fib(serial),
+        "matches serial elision"
+    );
+    println!("matches the serial elision: fib({n}) = {serial}");
+
+    let net = outcome.driver.net;
+    println!("\ndriver traffic (real datagrams on loopback):");
+    println!("  sent            {:>8}", net.messages_sent);
+    println!("  delivered       {:>8}", net.messages_delivered);
+    println!("  dropped         {:>8}  (injected)", net.messages_dropped);
+    println!(
+        "  retransmissions {:>8}  (how the loss was absorbed)",
+        net.retransmissions
+    );
+    println!(
+        "\nclearinghouse: {} registrations, {} heartbeats, {} confirm rounds",
+        outcome.driver.clearinghouse.registrations,
+        outcome.driver.clearinghouse.heartbeats,
+        outcome.driver.confirm_rounds,
+    );
+    println!(
+        "worker exits: {:?} (all Some(0) = clean)",
+        outcome.worker_exits
+    );
+}

@@ -28,6 +28,7 @@
 //! | [`sim`] | `phish-sim` | deterministic discrete-event simulator (fleet, microsim, sharing) |
 //! | [`ft`] | `phish-ft` | steal ledgers and the crash-recovering engine |
 //! | [`apps`] | `phish-apps` | fib, nqueens, pfold, ray — serial, parallel, and spec forms |
+//! | [`proc`] | `phish-proc` | multi-process runtime: `phishd`/`phish-worker` over real UDP |
 //!
 //! ## Quickstart
 //!
@@ -72,4 +73,9 @@ pub mod ft {
 /// Applications (re-export of `phish-apps`).
 pub mod apps {
     pub use phish_apps::*;
+}
+
+/// Multi-process runtime (re-export of `phish-proc`).
+pub mod proc {
+    pub use phish_proc::*;
 }

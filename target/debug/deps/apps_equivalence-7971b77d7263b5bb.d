@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_equivalence-7971b77d7263b5bb.d: tests/apps_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_equivalence-7971b77d7263b5bb.rmeta: tests/apps_equivalence.rs Cargo.toml
+
+tests/apps_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

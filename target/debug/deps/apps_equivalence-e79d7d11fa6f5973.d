@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_equivalence-e79d7d11fa6f5973.d: tests/apps_equivalence.rs
+
+/root/repo/target/debug/deps/apps_equivalence-e79d7d11fa6f5973: tests/apps_equivalence.rs
+
+tests/apps_equivalence.rs:

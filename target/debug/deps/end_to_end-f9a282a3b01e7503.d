@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f9a282a3b01e7503.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f9a282a3b01e7503: tests/end_to_end.rs
+
+tests/end_to_end.rs:

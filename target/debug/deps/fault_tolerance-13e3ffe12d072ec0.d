@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-13e3ffe12d072ec0.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-13e3ffe12d072ec0: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_equivalence-24d8775006601796.d: tests/kernel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_equivalence-24d8775006601796.rmeta: tests/kernel_equivalence.rs Cargo.toml
+
+tests/kernel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-c581fca3e20c3ebe.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-c581fca3e20c3ebe: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-d6e3868696deba07.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-d6e3868696deba07: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

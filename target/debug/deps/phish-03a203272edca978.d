@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phish-03a203272edca978.d: src/lib.rs src/livejob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish-03a203272edca978.rmeta: src/lib.rs src/livejob.rs Cargo.toml
+
+src/lib.rs:
+src/livejob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phish-ea6caf23a99857a8.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/libphish-ea6caf23a99857a8.rlib: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/libphish-ea6caf23a99857a8.rmeta: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/phish-f83685e45b95a749.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/debug/deps/phish-f83685e45b95a749: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

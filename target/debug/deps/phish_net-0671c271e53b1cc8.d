@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/phish_net-0671c271e53b1cc8.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/phish_net-0671c271e53b1cc8.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs Cargo.toml
 
-/root/repo/target/debug/deps/libphish_net-0671c271e53b1cc8.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libphish_net-0671c271e53b1cc8.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs Cargo.toml
 
 crates/net/src/lib.rs:
 crates/net/src/fabric.rs:
@@ -9,6 +9,7 @@ crates/net/src/metrics.rs:
 crates/net/src/rpc.rs:
 crates/net/src/splitphase.rs:
 crates/net/src/time.rs:
+crates/net/src/udp.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/phish_net-a0cd40feeb1bcea9.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+/root/repo/target/debug/deps/phish_net-a0cd40feeb1bcea9.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs
 
-/root/repo/target/debug/deps/phish_net-a0cd40feeb1bcea9: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+/root/repo/target/debug/deps/phish_net-a0cd40feeb1bcea9: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs
 
 crates/net/src/lib.rs:
 crates/net/src/fabric.rs:
@@ -9,3 +9,4 @@ crates/net/src/metrics.rs:
 crates/net/src/rpc.rs:
 crates/net/src/splitphase.rs:
 crates/net/src/time.rs:
+crates/net/src/udp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phish_proc-15e771f76014818c.d: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+/root/repo/target/debug/deps/phish_proc-15e771f76014818c: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+crates/proc/src/lib.rs:
+crates/proc/src/app.rs:
+crates/proc/src/deploy.rs:
+crates/proc/src/driver.rs:
+crates/proc/src/proto.rs:
+crates/proc/src/signal.rs:
+crates/proc/src/worker.rs:

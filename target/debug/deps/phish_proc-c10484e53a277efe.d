@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/phish_proc-c10484e53a277efe.d: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_proc-c10484e53a277efe.rmeta: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs Cargo.toml
+
+crates/proc/src/lib.rs:
+crates/proc/src/app.rs:
+crates/proc/src/deploy.rs:
+crates/proc/src/driver.rs:
+crates/proc/src/proto.rs:
+crates/proc/src/signal.rs:
+crates/proc/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phish_proc-f9741bb8ee036828.d: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+/root/repo/target/debug/deps/libphish_proc-f9741bb8ee036828.rlib: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+/root/repo/target/debug/deps/libphish_proc-f9741bb8ee036828.rmeta: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+crates/proc/src/lib.rs:
+crates/proc/src/app.rs:
+crates/proc/src/deploy.rs:
+crates/proc/src/driver.rs:
+crates/proc/src/proto.rs:
+crates/proc/src/signal.rs:
+crates/proc/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phish_worker-5cd01481961c1f8a.d: crates/proc/src/bin/phish-worker.rs
+
+/root/repo/target/debug/deps/phish_worker-5cd01481961c1f8a: crates/proc/src/bin/phish-worker.rs
+
+crates/proc/src/bin/phish-worker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phish_worker-7f2382cfd2e72ca3.d: crates/proc/src/bin/phish-worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphish_worker-7f2382cfd2e72ca3.rmeta: crates/proc/src/bin/phish-worker.rs Cargo.toml
+
+crates/proc/src/bin/phish-worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phish_worker-dff2a0b1a8f29520.d: crates/proc/src/bin/phish-worker.rs
+
+/root/repo/target/debug/deps/phish_worker-dff2a0b1a8f29520: crates/proc/src/bin/phish-worker.rs
+
+crates/proc/src/bin/phish-worker.rs:

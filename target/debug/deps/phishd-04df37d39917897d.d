@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phishd-04df37d39917897d.d: crates/proc/src/bin/phishd.rs
+
+/root/repo/target/debug/deps/phishd-04df37d39917897d: crates/proc/src/bin/phishd.rs
+
+crates/proc/src/bin/phishd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phishd-6cf1d7030e64cc8f.d: crates/proc/src/bin/phishd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphishd-6cf1d7030e64cc8f.rmeta: crates/proc/src/bin/phishd.rs Cargo.toml
+
+crates/proc/src/bin/phishd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

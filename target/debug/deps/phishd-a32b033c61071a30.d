@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phishd-a32b033c61071a30.d: crates/proc/src/bin/phishd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphishd-a32b033c61071a30.rmeta: crates/proc/src/bin/phishd.rs Cargo.toml
+
+crates/proc/src/bin/phishd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phishd-fb78be04b35ab685.d: crates/proc/src/bin/phishd.rs
+
+/root/repo/target/debug/deps/phishd-fb78be04b35ab685: crates/proc/src/bin/phishd.rs
+
+crates/proc/src/bin/phishd.rs:

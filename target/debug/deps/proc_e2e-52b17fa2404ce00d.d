@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proc_e2e-52b17fa2404ce00d.d: crates/proc/tests/proc_e2e.rs
+
+/root/repo/target/debug/deps/proc_e2e-52b17fa2404ce00d: crates/proc/tests/proc_e2e.rs
+
+crates/proc/tests/proc_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_phish-worker=/root/repo/target/debug/phish-worker

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proc_e2e-dd5d2cd51cb6e3f5.d: crates/proc/tests/proc_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproc_e2e-dd5d2cd51cb6e3f5.rmeta: crates/proc/tests/proc_e2e.rs Cargo.toml
+
+crates/proc/tests/proc_e2e.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_phish-worker=placeholder:phish-worker
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

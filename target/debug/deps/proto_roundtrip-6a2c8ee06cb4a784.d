@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proto_roundtrip-6a2c8ee06cb4a784.d: crates/proc/tests/proto_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproto_roundtrip-6a2c8ee06cb4a784.rmeta: crates/proc/tests/proto_roundtrip.rs Cargo.toml
+
+crates/proc/tests/proto_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

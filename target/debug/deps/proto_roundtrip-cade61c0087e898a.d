@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proto_roundtrip-cade61c0087e898a.d: crates/proc/tests/proto_roundtrip.rs
+
+/root/repo/target/debug/deps/proto_roundtrip-cade61c0087e898a: crates/proc/tests/proto_roundtrip.rs
+
+crates/proc/tests/proto_roundtrip.rs:

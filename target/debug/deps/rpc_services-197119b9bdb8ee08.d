@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_services-197119b9bdb8ee08.d: tests/rpc_services.rs
+
+/root/repo/target/debug/deps/rpc_services-197119b9bdb8ee08: tests/rpc_services.rs
+
+tests/rpc_services.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_services-ad0c3e2d9feefa08.d: tests/rpc_services.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_services-ad0c3e2d9feefa08.rmeta: tests/rpc_services.rs Cargo.toml
+
+tests/rpc_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-6ebdb22179e9ee8e.d: tests/simulator.rs
+
+/root/repo/target/debug/deps/simulator-6ebdb22179e9ee8e: tests/simulator.rs
+
+tests/simulator.rs:

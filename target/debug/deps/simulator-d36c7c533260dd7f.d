@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-d36c7c533260dd7f.d: tests/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-d36c7c533260dd7f.rmeta: tests/simulator.rs Cargo.toml
+
+tests/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_reliability-0bb7f93e3cb3746b.d: tests/transport_reliability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_reliability-0bb7f93e3cb3746b.rmeta: tests/transport_reliability.rs Cargo.toml
+
+tests/transport_reliability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_reliability-3f4d6946b9778c68.d: tests/transport_reliability.rs
+
+/root/repo/target/debug/deps/transport_reliability-3f4d6946b9778c68: tests/transport_reliability.rs
+
+tests/transport_reliability.rs:

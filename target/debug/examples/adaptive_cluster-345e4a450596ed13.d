@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_cluster-345e4a450596ed13.d: examples/adaptive_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_cluster-345e4a450596ed13.rmeta: examples/adaptive_cluster.rs Cargo.toml
+
+examples/adaptive_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

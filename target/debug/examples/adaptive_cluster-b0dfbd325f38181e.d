@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_cluster-b0dfbd325f38181e.d: examples/adaptive_cluster.rs
+
+/root/repo/target/debug/examples/adaptive_cluster-b0dfbd325f38181e: examples/adaptive_cluster.rs
+
+examples/adaptive_cluster.rs:

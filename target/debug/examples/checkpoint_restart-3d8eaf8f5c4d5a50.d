@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_restart-3d8eaf8f5c4d5a50.d: examples/checkpoint_restart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_restart-3d8eaf8f5c4d5a50.rmeta: examples/checkpoint_restart.rs Cargo.toml
+
+examples/checkpoint_restart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-9930866bca93ecda.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-9930866bca93ecda: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

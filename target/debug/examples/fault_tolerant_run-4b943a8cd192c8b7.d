@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerant_run-4b943a8cd192c8b7.d: examples/fault_tolerant_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerant_run-4b943a8cd192c8b7.rmeta: examples/fault_tolerant_run.rs Cargo.toml
+
+examples/fault_tolerant_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_run-d4f8a0c1165ea20f.d: examples/fault_tolerant_run.rs
+
+/root/repo/target/debug/examples/fault_tolerant_run-d4f8a0c1165ea20f: examples/fault_tolerant_run.rs
+
+examples/fault_tolerant_run.rs:

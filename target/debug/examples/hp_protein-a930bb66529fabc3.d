@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hp_protein-a930bb66529fabc3.d: examples/hp_protein.rs
+
+/root/repo/target/debug/examples/hp_protein-a930bb66529fabc3: examples/hp_protein.rs
+
+examples/hp_protein.rs:

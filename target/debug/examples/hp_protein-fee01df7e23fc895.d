@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hp_protein-fee01df7e23fc895.d: examples/hp_protein.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhp_protein-fee01df7e23fc895.rmeta: examples/hp_protein.rs Cargo.toml
+
+examples/hp_protein.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_deployment-29cdfa560a86096d.d: examples/live_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_deployment-29cdfa560a86096d.rmeta: examples/live_deployment.rs Cargo.toml
+
+examples/live_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

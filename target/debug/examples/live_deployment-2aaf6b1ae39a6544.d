@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_deployment-2aaf6b1ae39a6544.d: examples/live_deployment.rs
+
+/root/repo/target/debug/examples/live_deployment-2aaf6b1ae39a6544: examples/live_deployment.rs
+
+examples/live_deployment.rs:

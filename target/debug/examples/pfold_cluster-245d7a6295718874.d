@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pfold_cluster-245d7a6295718874.d: examples/pfold_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpfold_cluster-245d7a6295718874.rmeta: examples/pfold_cluster.rs Cargo.toml
+
+examples/pfold_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

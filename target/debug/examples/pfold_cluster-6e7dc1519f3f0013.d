@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pfold_cluster-6e7dc1519f3f0013.d: examples/pfold_cluster.rs
+
+/root/repo/target/debug/examples/pfold_cluster-6e7dc1519f3f0013: examples/pfold_cluster.rs
+
+examples/pfold_cluster.rs:

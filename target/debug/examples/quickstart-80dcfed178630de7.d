@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-80dcfed178630de7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-80dcfed178630de7: examples/quickstart.rs
+
+examples/quickstart.rs:

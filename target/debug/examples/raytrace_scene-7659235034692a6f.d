@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/raytrace_scene-7659235034692a6f.d: examples/raytrace_scene.rs Cargo.toml
+
+/root/repo/target/debug/examples/libraytrace_scene-7659235034692a6f.rmeta: examples/raytrace_scene.rs Cargo.toml
+
+examples/raytrace_scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raytrace_scene-79212e8c3dc139f1.d: examples/raytrace_scene.rs
+
+/root/repo/target/debug/examples/raytrace_scene-79212e8c3dc139f1: examples/raytrace_scene.rs
+
+examples/raytrace_scene.rs:

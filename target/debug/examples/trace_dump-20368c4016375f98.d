@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_dump-20368c4016375f98.d: examples/trace_dump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_dump-20368c4016375f98.rmeta: examples/trace_dump.rs Cargo.toml
+
+examples/trace_dump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

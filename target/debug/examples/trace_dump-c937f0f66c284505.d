@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_dump-c937f0f66c284505.d: examples/trace_dump.rs
+
+/root/repo/target/debug/examples/trace_dump-c937f0f66c284505: examples/trace_dump.rs
+
+examples/trace_dump.rs:

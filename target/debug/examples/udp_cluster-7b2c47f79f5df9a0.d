@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/udp_cluster-7b2c47f79f5df9a0.d: examples/udp_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libudp_cluster-7b2c47f79f5df9a0.rmeta: examples/udp_cluster.rs Cargo.toml
+
+examples/udp_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

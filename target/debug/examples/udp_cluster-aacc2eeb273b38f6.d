@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/udp_cluster-aacc2eeb273b38f6.d: examples/udp_cluster.rs
+
+/root/repo/target/debug/examples/udp_cluster-aacc2eeb273b38f6: examples/udp_cluster.rs
+
+examples/udp_cluster.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/phish-1cc125d2df16428f.d: src/lib.rs src/livejob.rs
+
+/root/repo/target/release/deps/libphish-1cc125d2df16428f.rlib: src/lib.rs src/livejob.rs
+
+/root/repo/target/release/deps/libphish-1cc125d2df16428f.rmeta: src/lib.rs src/livejob.rs
+
+src/lib.rs:
+src/livejob.rs:

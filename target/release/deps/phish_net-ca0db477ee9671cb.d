@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/phish_net-ca0db477ee9671cb.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+/root/repo/target/release/deps/phish_net-ca0db477ee9671cb.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs
 
-/root/repo/target/release/deps/libphish_net-ca0db477ee9671cb.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+/root/repo/target/release/deps/libphish_net-ca0db477ee9671cb.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs
 
-/root/repo/target/release/deps/libphish_net-ca0db477ee9671cb.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs
+/root/repo/target/release/deps/libphish_net-ca0db477ee9671cb.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/rpc.rs crates/net/src/splitphase.rs crates/net/src/time.rs crates/net/src/udp.rs
 
 crates/net/src/lib.rs:
 crates/net/src/fabric.rs:
@@ -11,3 +11,4 @@ crates/net/src/metrics.rs:
 crates/net/src/rpc.rs:
 crates/net/src/splitphase.rs:
 crates/net/src/time.rs:
+crates/net/src/udp.rs:

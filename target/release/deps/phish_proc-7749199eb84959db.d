@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/phish_proc-7749199eb84959db.d: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+/root/repo/target/release/deps/libphish_proc-7749199eb84959db.rlib: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+/root/repo/target/release/deps/libphish_proc-7749199eb84959db.rmeta: crates/proc/src/lib.rs crates/proc/src/app.rs crates/proc/src/deploy.rs crates/proc/src/driver.rs crates/proc/src/proto.rs crates/proc/src/signal.rs crates/proc/src/worker.rs
+
+crates/proc/src/lib.rs:
+crates/proc/src/app.rs:
+crates/proc/src/deploy.rs:
+crates/proc/src/driver.rs:
+crates/proc/src/proto.rs:
+crates/proc/src/signal.rs:
+crates/proc/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phish_worker-01d305ed75e4df30.d: crates/proc/src/bin/phish-worker.rs
+
+/root/repo/target/release/deps/phish_worker-01d305ed75e4df30: crates/proc/src/bin/phish-worker.rs
+
+crates/proc/src/bin/phish-worker.rs:

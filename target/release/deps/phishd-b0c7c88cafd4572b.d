@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phishd-b0c7c88cafd4572b.d: crates/proc/src/bin/phishd.rs
+
+/root/repo/target/release/deps/phishd-b0c7c88cafd4572b: crates/proc/src/bin/phishd.rs
+
+crates/proc/src/bin/phishd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proc_e2e-b39333abc8ed5df0.d: crates/proc/tests/proc_e2e.rs
+
+/root/repo/target/release/deps/proc_e2e-b39333abc8ed5df0: crates/proc/tests/proc_e2e.rs
+
+crates/proc/tests/proc_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_phish-worker=/root/repo/target/release/phish-worker

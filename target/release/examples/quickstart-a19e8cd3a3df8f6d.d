@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a19e8cd3a3df8f6d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a19e8cd3a3df8f6d: examples/quickstart.rs
+
+examples/quickstart.rs:
